@@ -1,0 +1,138 @@
+// Command anthill-sim regenerates the paper's tables and figures on the
+// simulated heterogeneous cluster.
+//
+// Usage:
+//
+//	anthill-sim [-exp all|table1|fig6|...] [-full] [-seed N] [-o FILE]
+//
+// With -exp all (the default) it writes a complete EXPERIMENTS.md-style
+// report; with a single experiment ID it prints just that section. -full
+// switches to paper-scale workloads (26,742-tile base cases, 267,420-tile
+// scaling runs); the default reduced scale preserves every qualitative
+// shape and finishes in a few minutes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		full    = flag.Bool("full", false, "paper-scale workloads (slower)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		out     = flag.String("o", "", "write the report to this file instead of stdout")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonOut = flag.String("json", "", "also write a machine-readable check summary to this file")
+		svgDir  = flag.String("svg", "", "write each figure's curves as an SVG chart into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %-10s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Full: *full, Seed: *seed}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			var ids []string
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+			fmt.Fprintf(os.Stderr, "anthill-sim: unknown experiment %q (have: %s)\n",
+				*exp, strings.Join(ids, ", "))
+			os.Exit(1)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	if *exp == "all" {
+		fmt.Fprint(w, experiments.Preamble(cfg))
+	}
+	failed := 0
+	var summaries []jsonReport
+	for _, e := range toRun {
+		rep := e.Run(cfg)
+		fmt.Fprint(w, rep.Render())
+		js := jsonReport{ID: rep.ID, Title: rep.Title, PaperRef: rep.PaperRef, Passed: rep.Passed()}
+		for _, c := range rep.Checks {
+			js.Checks = append(js.Checks, jsonCheck{Name: c.Name, Pass: c.Pass, Detail: c.Detail})
+			if !c.Pass {
+				failed++
+			}
+		}
+		summaries = append(summaries, js)
+		if *svgDir != "" && len(rep.Series) > 0 {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+				os.Exit(1)
+			}
+			svg := metrics.RenderSVG(fmt.Sprintf("%s — %s", rep.PaperRef, rep.Title),
+				rep.Series, 760, 420)
+			path := filepath.Join(*svgDir, rep.ID+".svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summaries); err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "anthill-sim: %d shape check(s) failed\n", failed)
+		os.Exit(2)
+	}
+}
+
+// jsonReport is the machine-readable form of one experiment's outcome.
+type jsonReport struct {
+	ID       string      `json:"id"`
+	Title    string      `json:"title"`
+	PaperRef string      `json:"paper_ref"`
+	Passed   bool        `json:"passed"`
+	Checks   []jsonCheck `json:"checks"`
+}
+
+type jsonCheck struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}

@@ -1,0 +1,81 @@
+// Command estimator reproduces the performance-estimator evaluation of
+// Section 4 (Table 1): it profiles the six benchmark applications and
+// cross-validates kNN predictions of relative performance (speedup) and of
+// raw CPU execution time.
+//
+// Example:
+//
+//	estimator -jobs 30 -k 2 -folds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/apps/microbench"
+	"repro/internal/estimator"
+)
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 30, "profile size (jobs per benchmark)")
+		k       = flag.Int("k", 2, "kNN neighbors")
+		folds   = flag.Int("folds", 10, "cross-validation folds")
+		seed    = flag.Int64("seed", 7, "workload seed")
+		dump    = flag.String("dump-profile", "", "benchmark name whose phase-one profile to write as JSON")
+		dumpOut = flag.String("o", "", "output file for -dump-profile (default stdout)")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpProfile(*dump, *jobs, *seed, *dumpOut); err != nil {
+			fmt.Fprintln(os.Stderr, "estimator:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%-18s %-34s %-10s %14s %14s\n",
+		"Benchmark", "Description", "Source", "Speedup err %", "CPU time err %")
+	var sum float64
+	rows := microbench.EvaluateAllWith(*jobs, *folds, *k, *seed)
+	for _, r := range rows {
+		fmt.Printf("%-18s %-34s %-10s %14.2f %14.2f\n",
+			r.Name, r.Description, r.Source, r.SpeedupErrPct, r.CPUTimeErrPct)
+		sum += r.SpeedupErrPct
+	}
+	fmt.Printf("\nmean speedup error: %.2f%% (paper: 8.52%%)\n", sum/float64(len(rows)))
+}
+
+// dumpProfile writes one workload's phase-one benchmarking profile as JSON
+// — the artifact the two-phase methodology of Section 4 stores between the
+// training and prediction phases.
+func dumpProfile(name string, jobs int, seed int64, out string) error {
+	for _, w := range microbench.Workloads {
+		if w.Name != name {
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := estimator.NewProfile()
+		for i := 0; i < jobs; i++ {
+			p.Add(w.Gen(rng))
+		}
+		dst := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dst = f
+		}
+		return p.Save(dst)
+	}
+	var names []string
+	for _, w := range microbench.Workloads {
+		names = append(names, w.Name)
+	}
+	return fmt.Errorf("unknown benchmark %q (have %v)", name, names)
+}

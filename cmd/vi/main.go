@@ -1,0 +1,51 @@
+// Command vi runs the vector-incrementer micro-benchmark of Section 6.2:
+// sweep the number of concurrent CUDA streams for a chunk size, or let
+// Algorithm 1 adapt it dynamically.
+//
+// Examples:
+//
+//	vi -chunk 100000 -sweep
+//	vi -chunk 1000000 -streams 0     # dynamic controller
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/apps/vi"
+)
+
+func main() {
+	var (
+		vector  = flag.Int64("vector", 360_000_000, "vector length in integers")
+		chunk   = flag.Int64("chunk", 500_000, "chunk size in integers")
+		streams = flag.Int("streams", 0, "static stream count (0 = dynamic, Algorithm 1)")
+		sync    = flag.Bool("sync", false, "synchronous copies (no overlap)")
+		sweep   = flag.Bool("sweep", false, "sweep static stream counts and compare to dynamic")
+	)
+	flag.Parse()
+
+	if *sweep {
+		counts := []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128}
+		fmt.Printf("%8s %12s\n", "streams", "time (s)")
+		for _, n := range counts {
+			r := vi.Run(vi.Config{VectorInts: *vector, ChunkInts: *chunk, Streams: n})
+			fmt.Printf("%8d %12.3f\n", n, float64(r.Elapsed))
+		}
+		d := vi.Run(vi.Config{VectorInts: *vector, ChunkInts: *chunk})
+		fmt.Printf("%8s %12.3f  (settled at %d streams)\n", "dynamic", float64(d.Elapsed), d.FinalStreams)
+		return
+	}
+
+	r := vi.Run(vi.Config{VectorInts: *vector, ChunkInts: *chunk, Streams: *streams, Sync: *sync})
+	mode := fmt.Sprintf("static %d streams", *streams)
+	if *streams <= 0 {
+		mode = fmt.Sprintf("dynamic (settled at %d streams)", r.FinalStreams)
+	}
+	if *sync {
+		mode = "synchronous"
+	}
+	fmt.Printf("vector:  %d integers in %d chunks of %d\n", *vector, r.Chunks, *chunk)
+	fmt.Printf("mode:    %s\n", mode)
+	fmt.Printf("elapsed: %.3f s (virtual)\n", float64(r.Elapsed))
+}

@@ -1,0 +1,61 @@
+// Frequentitems: distributed frequent-itemset mining on the dataflow
+// runtime (the Anthill Eclat application of Table 1).
+//
+// A synthetic transaction database is partitioned across a 3-node CPU+GPU
+// cluster; counting runs on both device classes, per-candidate partial
+// supports are routed over a labeled stream to their owning aggregator
+// instance, and the distributed result is verified against a sequential
+// Eclat reference.
+//
+// Run with:
+//
+//	go run ./examples/frequentitems
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"repro/internal/apps/eclatflow"
+	"repro/internal/policy"
+)
+
+func main() {
+	cfg := eclatflow.Config{
+		Nodes:        3,
+		Transactions: 20000,
+		Items:        60,
+		AvgLen:       6,
+		MinSupport:   2000,
+		ChunkTx:      1000,
+		MaxSetSize:   2,
+		Policy:       policy.ODDS(),
+		UseGPU:       true,
+		Seed:         42,
+	}
+	res := eclatflow.Run(cfg)
+	ref := eclatflow.ReferenceMine(cfg)
+
+	keys := make([]string, 0, len(res.Frequent))
+	for k := range res.Frequent {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(keys[i]) != len(keys[j]) {
+			return len(keys[i]) < len(keys[j])
+		}
+		return keys[i] < keys[j]
+	})
+	fmt.Printf("%-10s %8s\n", "itemset", "support")
+	for _, k := range keys {
+		fmt.Printf("{%-8s %8d\n", k+"}", res.Frequent[k])
+	}
+	fmt.Printf("\n%d transactions in %d chunks/round, mined in %.3f s (virtual)\n",
+		cfg.Transactions, res.Chunks, float64(res.Makespan))
+	if reflect.DeepEqual(res.Frequent, ref) {
+		fmt.Println("distributed result matches the sequential Eclat reference")
+	} else {
+		fmt.Println("WARNING: result differs from the sequential reference!")
+	}
+}

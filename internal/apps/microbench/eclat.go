@@ -1,0 +1,91 @@
+package microbench
+
+import "sort"
+
+// Eclat mines frequent itemsets from a transaction database using the
+// vertical (tidset-intersection) algorithm the paper's Anthill benchmark
+// parallelizes. Transactions are slices of item IDs; itemsets with support
+// >= minSupport are returned as sorted item slices.
+func Eclat(transactions [][]int, minSupport int) [][]int {
+	// Build vertical representation: item -> sorted tid list.
+	tidsets := map[int][]int{}
+	for tid, tx := range transactions {
+		seen := map[int]bool{}
+		for _, item := range tx {
+			if !seen[item] {
+				seen[item] = true
+				tidsets[item] = append(tidsets[item], tid)
+			}
+		}
+	}
+	items := make([]int, 0, len(tidsets))
+	for item, tids := range tidsets {
+		if len(tids) >= minSupport {
+			items = append(items, item)
+		}
+	}
+	sort.Ints(items)
+
+	var out [][]int
+	var extend func(prefix []int, prefixTids []int, candidates []int)
+	extend = func(prefix []int, prefixTids []int, candidates []int) {
+		for ci, item := range candidates {
+			var tids []int
+			if prefixTids == nil {
+				tids = tidsets[item]
+			} else {
+				tids = intersectSorted(prefixTids, tidsets[item])
+			}
+			if len(tids) < minSupport {
+				continue
+			}
+			set := append(append([]int(nil), prefix...), item)
+			out = append(out, set)
+			extend(set, tids, candidates[ci+1:])
+		}
+	}
+	extend(nil, nil, items)
+	return out
+}
+
+// intersectSorted intersects two ascending int slices.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Support counts transactions containing every item of the set (reference
+// implementation for property tests).
+func Support(transactions [][]int, set []int) int {
+	count := 0
+	for _, tx := range transactions {
+		have := map[int]bool{}
+		for _, it := range tx {
+			have[it] = true
+		}
+		ok := true
+		for _, it := range set {
+			if !have[it] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,74 @@
+package microbench
+
+// HeartSim is a 2D FitzHugh-Nagumo excitable-medium model of cardiac
+// electrical activity — the same class of monodomain solver as the heart
+// simulation the paper profiles (Rocha et al.): a diffusion term for the
+// transmembrane potential plus local-recovery dynamics, advanced with
+// explicit finite differences.
+type HeartSim struct {
+	N    int // grid edge
+	V, W []float64
+
+	// Model parameters.
+	Diffusion float64
+	A, B, Eps float64
+	Dt, Dx    float64
+}
+
+// NewHeartSim creates an n x n tissue sheet at rest with a stimulated
+// square in one corner.
+func NewHeartSim(n int) *HeartSim {
+	h := &HeartSim{
+		N: n, V: make([]float64, n*n), W: make([]float64, n*n),
+		Diffusion: 1.0, A: 0.05, B: 0.5, Eps: 0.01, Dt: 0.05, Dx: 1,
+	}
+	for y := 0; y < n/8+1; y++ {
+		for x := 0; x < n/8+1; x++ {
+			h.V[y*n+x] = 1
+		}
+	}
+	return h
+}
+
+// Step advances the model one time step (no-flux boundaries).
+func (h *HeartSim) Step() {
+	n := h.N
+	nv := make([]float64, n*n)
+	d := h.Diffusion * h.Dt / (h.Dx * h.Dx)
+	at := func(x, y int) float64 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= n {
+			x = n - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= n {
+			y = n - 1
+		}
+		return h.V[y*n+x]
+	}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			i := y*n + x
+			v, w := h.V[i], h.W[i]
+			lap := at(x-1, y) + at(x+1, y) + at(x, y-1) + at(x, y+1) - 4*v
+			// FitzHugh-Nagumo kinetics.
+			dv := v*(1-v)*(v-h.A) - w
+			nv[i] = v + h.Dt*dv + d*lap
+			h.W[i] = w + h.Dt*h.Eps*(h.B*v-w)
+		}
+	}
+	h.V = nv
+}
+
+// Activity returns the mean potential, a cheap summary for tests.
+func (h *HeartSim) Activity() float64 {
+	var s float64
+	for _, v := range h.V {
+		s += v
+	}
+	return s / float64(len(h.V))
+}

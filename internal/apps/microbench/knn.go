@@ -1,0 +1,48 @@
+package microbench
+
+import "sort"
+
+// LabeledPoint is a training example for kNN classification.
+type LabeledPoint struct {
+	X     []float64
+	Label int
+}
+
+// KNNClassify returns the majority label among the k nearest training
+// points to q (Euclidean distance, deterministic tie-breaks).
+func KNNClassify(train []LabeledPoint, q []float64, k int) int {
+	type nd struct {
+		d     float64
+		idx   int
+		label int
+	}
+	ns := make([]nd, len(train))
+	for i, p := range train {
+		var s float64
+		for j := range q {
+			d := q[j] - p.X[j]
+			s += d * d
+		}
+		ns[i] = nd{s, i, p.Label}
+	}
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].d != ns[b].d {
+			return ns[a].d < ns[b].d
+		}
+		return ns[a].idx < ns[b].idx
+	})
+	if k > len(ns) {
+		k = len(ns)
+	}
+	votes := map[int]int{}
+	for i := 0; i < k; i++ {
+		votes[ns[i].label]++
+	}
+	best, bestVotes := -1, -1
+	for label, v := range votes {
+		if v > bestVotes || (v == bestVotes && label < best) {
+			best, bestVotes = label, v
+		}
+	}
+	return best
+}

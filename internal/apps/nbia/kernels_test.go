@@ -1,0 +1,145 @@
+package nbia
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRGBToLabKnownValues(t *testing.T) {
+	tile := NewTile(1)
+	// White -> L ~ 100, a,b ~ 0.
+	tile.Set(0, 0, 255, 255, 255)
+	lab := RGBToLab(tile)
+	if math.Abs(lab.L[0]-100) > 0.5 || math.Abs(lab.A[0]) > 0.5 || math.Abs(lab.B[0]) > 0.5 {
+		t.Fatalf("white -> L=%f a=%f b=%f", lab.L[0], lab.A[0], lab.B[0])
+	}
+	// Black -> L ~ 0.
+	tile.Set(0, 0, 0, 0, 0)
+	lab = RGBToLab(tile)
+	if math.Abs(lab.L[0]) > 0.5 {
+		t.Fatalf("black -> L=%f", lab.L[0])
+	}
+}
+
+func TestRGBToLabRedIsPositiveA(t *testing.T) {
+	tile := NewTile(1)
+	tile.Set(0, 0, 255, 0, 0)
+	lab := RGBToLab(tile)
+	if lab.A[0] <= 0 {
+		t.Fatalf("red should have positive a*, got %f", lab.A[0])
+	}
+	tile.Set(0, 0, 0, 255, 0)
+	lab = RGBToLab(tile)
+	if lab.A[0] >= 0 {
+		t.Fatalf("green should have negative a*, got %f", lab.A[0])
+	}
+}
+
+func TestLBPHistogramUniformTile(t *testing.T) {
+	tile := NewTile(8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			tile.Set(x, y, 128, 128, 128)
+		}
+	}
+	hist := LBPHistogram(RGBToLab(tile))
+	// All neighbors equal center -> all bits set -> code 255 everywhere.
+	if math.Abs(hist[255]-1) > 1e-12 {
+		t.Fatalf("uniform tile LBP: hist[255] = %f", hist[255])
+	}
+}
+
+func TestLBPHistogramNormalized(t *testing.T) {
+	tile := SynthesizeTile(16, StromaPoor, 3)
+	hist := LBPHistogram(RGBToLab(tile))
+	sum := 0.0
+	for _, v := range hist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram sums to %f", sum)
+	}
+}
+
+func TestCoocurrenceFeaturesUniformVsNoise(t *testing.T) {
+	flat := NewTile(16)
+	for i := range flat.Pix {
+		flat.Pix[i] = 100
+	}
+	cFlat, eFlat, _, entFlat := coocOf(flat)
+	noisy := SynthesizeTile(16, StromaPoor, 5)
+	cNoisy, eNoisy, _, entNoisy := coocOf(noisy)
+	if cFlat != 0 {
+		t.Fatalf("flat tile contrast = %f, want 0", cFlat)
+	}
+	if eFlat < eNoisy {
+		t.Fatalf("flat energy (%f) should exceed noisy (%f)", eFlat, eNoisy)
+	}
+	if entNoisy <= entFlat {
+		t.Fatalf("noisy entropy (%f) should exceed flat (%f)", entNoisy, entFlat)
+	}
+	if cNoisy <= 0 {
+		t.Fatalf("noisy contrast = %f", cNoisy)
+	}
+}
+
+func coocOf(t *Tile) (a, b, c, d float64) {
+	return CoocurrenceFeatures(RGBToLab(t))
+}
+
+func TestClassifierSeparatesSyntheticClasses(t *testing.T) {
+	clf := TrainClassifier(24, 6, 1)
+	correct := 0
+	total := 0
+	for i := 0; i < 10; i++ {
+		for _, cls := range []Class{StromaRich, StromaPoor} {
+			tile := SynthesizeTile(24, cls, 90000+int64(i)*13+int64(cls))
+			got, _ := clf.Decide(FeatureVector(tile))
+			total++
+			if got == cls {
+				correct++
+			}
+		}
+	}
+	if correct < total*8/10 {
+		t.Fatalf("classifier accuracy %d/%d on synthetic classes", correct, total)
+	}
+}
+
+func TestFeatureVectorLength(t *testing.T) {
+	fv := FeatureVector(SynthesizeTile(8, StromaRich, 1))
+	if len(fv) != lbpBins+4 {
+		t.Fatalf("feature vector length = %d, want %d", len(fv), lbpBins+4)
+	}
+}
+
+func TestFeatureVectorDeterministic(t *testing.T) {
+	a := FeatureVector(SynthesizeTile(12, StromaRich, 7))
+	b := FeatureVector(SynthesizeTile(12, StromaRich, 7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTileAccessorsProperty(t *testing.T) {
+	f := func(x8, y8 uint8, r, g, b uint8) bool {
+		tile := NewTile(32)
+		x, y := int(x8)%32, int(y8)%32
+		tile.Set(x, y, r, g, b)
+		gr, gg, gb := tile.At(x, y)
+		return gr == r && gg == g && gb == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Background.String() != "background" || StromaRich.String() != "stroma-rich" ||
+		StromaPoor.String() != "stroma-poor" || Class(99).String() != "unknown" {
+		t.Fatal("class strings wrong")
+	}
+}

@@ -1,0 +1,681 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/xfer"
+)
+
+// Requester back-off bounds for polling senders that currently have no data
+// (the paper's Algorithm 3 receives an empty message in that case).
+const (
+	minBackoff = 100 * sim.Microsecond
+	maxBackoff = 2 * sim.Millisecond
+)
+
+// request is the demand message a consumer sends upstream: it names the
+// device class that triggered it (Section 5.3.2) so DBSA can select the
+// best-suited data buffer.
+type request struct {
+	kind     hw.Kind
+	from     *hw.Node
+	fromInst int // consumer instance index (labeled-stream partitioning)
+	reply    *sim.Chan[reply]
+}
+
+// reply carries a data buffer, an empty NACK (t == nil), or end-of-stream.
+type reply struct {
+	t   *task.Task
+	eof bool
+}
+
+// sender is the producer side of a stream at one filter instance: the
+// SendQueue plus the ThreadBufferQueuer/ThreadBufferSender pair of
+// Algorithms 4 and 5 (queuing happens inline in push; the sender process
+// answers requests).
+type sender struct {
+	inst  *Instance
+	queue *policy.Queue
+	parts []*policy.Queue // per-consumer partitions (labeled streams only)
+	reqCh *sim.Chan[*request]
+	gen   *generator // non-nil for lazy source filters
+}
+
+// generator is the on-demand production state of a lazy source instance.
+type generator struct {
+	next, count int
+	instance    int
+	watermark   int
+	make        func(instance, k int) *task.Task
+	// fresh tracks which generated tasks are still in the send queue, so
+	// the watermark counts *fresh* buffers: a backlog of resubmitted work
+	// must not stall the reader (a real demand-driven reader keeps
+	// reading regardless of how much recalculation work is queued).
+	fresh map[uint64]bool
+}
+
+// push inserts a data buffer into the SendQueue (ThreadBufferQueuer). On a
+// labeled stream the buffer goes to its label's partition.
+func (s *sender) push(t *task.Task) {
+	if s.parts != nil {
+		stream := s.inst.f.out
+		s.parts[int(stream.labelFn(t)%uint64(len(s.parts)))].Push(t)
+		return
+	}
+	s.queue.Push(t)
+}
+
+// refill tops the send queue up to the generator's watermark of fresh
+// buffers, so lazily produced buffers interleave with resubmitted ones
+// under demand.
+func (s *sender) refill(now sim.Time) {
+	g := s.gen
+	if g == nil {
+		return
+	}
+	for g.next < g.count && len(g.fresh) < g.watermark {
+		t := g.make(g.instance, g.next)
+		g.next++
+		s.inst.rt.prep(t, now)
+		g.fresh[t.ID] = true
+		s.push(t) // respects labeled-stream partitioning
+	}
+}
+
+// popFor pops the best buffer for the requesting device class (and, on
+// labeled streams, the requesting instance's partition), maintaining the
+// generator's fresh-buffer accounting.
+func (s *sender) popFor(req *request) *task.Task {
+	q := s.queue
+	if s.parts != nil {
+		q = s.parts[req.fromInst%len(s.parts)]
+	}
+	t := q.PopFor(req.kind)
+	if t != nil && s.gen != nil {
+		delete(s.gen.fresh, t.ID)
+	}
+	return t
+}
+
+// run is ThreadBufferSender: serve data requests, selecting the buffer with
+// DBSA when the queue is sorted, FIFO otherwise. Buffer selection is
+// serial (it mutates the SendQueue); transmission is dispatched to its own
+// process so a bulk transfer to one consumer does not head-of-line block
+// every other consumer's request — the NIC model still serializes the
+// actual bytes, segment-interleaved.
+func (s *sender) run(e *sim.Env) {
+	rt := s.inst.rt
+	for {
+		req, ok := s.reqCh.Get(e)
+		if !ok {
+			return
+		}
+		s.refill(e.Now())
+		var rep reply
+		if t := s.popFor(req); t != nil {
+			rep = reply{t: t}
+		} else if rt.track.done.Fired() {
+			rep = reply{eof: true}
+		}
+		e.Spawn("send", func(se *sim.Env) {
+			size := int64(ctrlMsgBytes)
+			if rep.t != nil {
+				size = rep.t.Size
+			}
+			rt.Cluster.Net.Send(se, s.inst.node, req.from, size)
+			req.reply.Put(se, rep)
+		})
+	}
+}
+
+// runPush implements the push-based stream the paper excludes: drain the
+// send queue FIFO and ship every buffer to the next consumer instance in
+// rotation, regardless of downstream demand or suitability.
+func (s *sender) runPush(e *sim.Env) {
+	rt := s.inst.rt
+	stream := s.inst.f.out
+	consumers := stream.to.instances
+	// Index of this stream among the consumer's inputs.
+	qi := 0
+	for i, in := range stream.to.in {
+		if in == stream {
+			qi = i
+		}
+	}
+	rr := s.inst.idx % len(consumers)
+	backoff := minBackoff
+	for !rt.track.done.Fired() {
+		s.refill(e.Now())
+		t := s.queue.PopFor(hw.CPU) // FIFO pop: kind is irrelevant
+		if t != nil && s.gen != nil {
+			delete(s.gen.fresh, t.ID)
+		}
+		if t == nil {
+			e.Sleep(backoff)
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = minBackoff
+		dst := consumers[rr%len(consumers)]
+		rr++
+		rt.Cluster.Net.Send(e, s.inst.node, dst.node, t.Size)
+		dst.inputs[qi].queue.Push(t)
+		dst.taskAvail.NotifyAll()
+	}
+}
+
+// inputStream is the receiver side of one stream at one instance: the
+// shared StreamOutQueue, viewed FIFO or sorted-by-speedup per device class.
+type inputStream struct {
+	s     *Stream
+	queue *policy.Queue
+}
+
+// reqState is the per-worker, per-input-stream request bookkeeping of
+// Algorithms 2 and 3: how many buffers this worker currently has queued,
+// what its target is (static, or DQAA-controlled), and the last observed
+// request latency.
+type reqState struct {
+	requestSize int
+	static      int
+	dqaa        *policy.DQAA
+	lastLatency sim.Time
+	haveLatency bool
+	rrSender    int
+}
+
+func (st *reqState) target() int {
+	if st.dqaa != nil {
+		return st.dqaa.Target()
+	}
+	return st.static
+}
+
+// targetFor is the worker-aware request target: a GPU worker running the
+// asynchronous transfer pipeline needs at least concurrentEvents+1 buffers
+// in flight for copies to overlap kernels at all — DQAA's latency/process
+// ratio systematically underestimates the demand of a pipelined processor,
+// so the controller's concurrency sets the floor and DQAA adapts above it.
+func (w *worker) targetFor(st *reqState) int {
+	t := st.target()
+	if w.inst.rt.tun.NoPipelineDemandFloor {
+		return t
+	}
+	if st.dqaa != nil && w.ctrl != nil && w.exec != nil && w.exec.Async {
+		if c := w.ctrl.Concurrent() + 1; c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// worker is one event-handler thread bound to one device.
+type worker struct {
+	inst      *Instance
+	kind      hw.Kind
+	dev       *hw.Device
+	exec      *xfer.Executor   // GPU workers only
+	ctrl      *xfer.Controller // GPU workers only (async mode)
+	tid       int
+	reqStates []*reqState // one per input stream
+}
+
+func (w *worker) name() string {
+	return fmt.Sprintf("%s/%d/%s%d", w.inst.f.Name(), w.inst.idx, w.kind, w.tid)
+}
+
+// Instance is one transparent copy of a filter on a node.
+type Instance struct {
+	rt        *Runtime
+	f         *Filter
+	idx       int
+	node      *hw.Node
+	inputs    []*inputStream
+	out       *sender
+	workers   []*worker
+	rrQueue   int
+	resubRR   int
+	taskAvail *sim.Cond // workers wait here for queued events
+	demand    *sim.Cond // requesters wait here for demand headroom
+	// fetcher maps a queued task to the request bookkeeping of the worker
+	// whose ThreadRequester fetched it. Buffers in the shared
+	// StreamOutQueue are fungible — any worker may pop any buffer — but
+	// requestsize(tid) counts buffers *assigned to* tid (Algorithm 2), so
+	// a pop must decrement the fetcher's counter, whoever consumes it.
+	fetcher map[uint64]*reqState
+}
+
+// Node returns the node hosting this instance.
+func (inst *Instance) Node() *hw.Node { return inst.node }
+
+// Workers returns the instance's workers' device kinds, for tests.
+func (inst *Instance) WorkerKinds() []hw.Kind {
+	out := make([]hw.Kind, len(inst.workers))
+	for i, w := range inst.workers {
+		out[i] = w.kind
+	}
+	return out
+}
+
+func newInstance(rt *Runtime, f *Filter, idx int, node *hw.Node) *Instance {
+	inst := &Instance{rt: rt, f: f, idx: idx, node: node, fetcher: make(map[uint64]*reqState)}
+	inst.taskAvail = sim.NewCond(rt.K)
+	inst.demand = sim.NewCond(rt.K)
+	if f.out != nil {
+		inst.out = &sender{
+			inst:  inst,
+			queue: policy.NewQueue(f.out.pol.Sender),
+			reqCh: sim.NewChan[*request](rt.K, 1024),
+		}
+		if f.out.labelFn != nil {
+			inst.out.parts = make([]*policy.Queue, len(f.out.to.spec.Placement))
+			for i := range inst.out.parts {
+				inst.out.parts[i] = policy.NewQueue(f.out.pol.Sender)
+			}
+		}
+	}
+	for _, s := range f.in {
+		inst.inputs = append(inst.inputs, &inputStream{
+			s:     s,
+			queue: policy.NewQueue(s.pol.Receiver),
+		})
+	}
+	if f.spec.Handler != nil {
+		inst.buildWorkers()
+	}
+	return inst
+}
+
+// buildWorkers creates one worker per device following the paper's testbed
+// convention: a GPU worker consumes one CPU core as its manager; remaining
+// cores become CPU workers (bounded by CPUWorkers).
+func (inst *Instance) buildWorkers() {
+	spec := inst.f.spec
+	tid := 0
+	cpuOffset := 0
+	if spec.UseGPU && inst.node.HasGPU() {
+		ng := spec.GPUWorkers
+		if ng < 1 {
+			ng = 1
+		}
+		if ng > len(inst.node.CPUs) {
+			ng = len(inst.node.CPUs) // each GPU worker needs a manager core
+		}
+		for g := 0; g < ng; g++ {
+			w := &worker{
+				inst: inst, kind: hw.GPU, dev: inst.node.GPU, tid: tid,
+				exec: xfer.NewExecutor(inst.node.GPU, inst.node.Link, spec.AsyncCopy),
+				ctrl: xfer.NewController(spec.MaxConcurrentCopies),
+			}
+			inst.workers = append(inst.workers, w)
+			tid++
+		}
+		cpuOffset = ng // one manager core per GPU worker
+	}
+	avail := len(inst.node.CPUs) - cpuOffset
+	n := spec.CPUWorkers
+	if n < 0 || n > avail {
+		n = avail
+	}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			inst: inst, kind: hw.CPU, dev: inst.node.CPUs[cpuOffset+i], tid: tid,
+		}
+		inst.workers = append(inst.workers, w)
+		tid++
+	}
+	if len(inst.workers) == 0 {
+		panic(fmt.Sprintf("core: filter %q instance on %s has no usable devices",
+			inst.f.Name(), inst.node.Name()))
+	}
+	for _, w := range inst.workers {
+		for _, is := range inst.inputs {
+			st := &reqState{static: is.s.pol.RequestSize}
+			if is.s.pol.Dynamic {
+				st.dqaa = policy.NewDQAATuned(inst.rt.tun.DQAAFloor, 0)
+			}
+			w.reqStates = append(w.reqStates, st)
+		}
+	}
+}
+
+// start spawns the instance's processes.
+func (inst *Instance) start() {
+	if inst.out != nil {
+		s := inst.out
+		name := fmt.Sprintf("%s/%d/sender", inst.f.Name(), inst.idx)
+		if inst.f.out.pol.Push {
+			inst.rt.K.Spawn(name, s.runPush)
+		} else {
+			inst.rt.K.Spawn(name, s.run)
+		}
+	}
+	for _, w := range inst.workers {
+		w := w
+		inst.rt.K.Spawn(w.name(), w.run)
+		for qi := range inst.inputs {
+			if inst.inputs[qi].s.pol.Push {
+				continue // push streams have no demand side
+			}
+			qi := qi
+			inst.rt.K.Spawn(fmt.Sprintf("%s/req%d", w.name(), qi), func(e *sim.Env) {
+				w.requester(e, qi)
+			})
+		}
+	}
+}
+
+// wakeAll unblocks workers and requesters so they can observe completion.
+func (inst *Instance) wakeAll() {
+	inst.taskAvail.NotifyAll()
+	inst.demand.NotifyAll()
+}
+
+// tryPop removes the best event for the worker's device from the input
+// queues, selecting the queue round-robin as the Event Scheduler does. The
+// returned reqState is the *popping* worker's bookkeeping for the stream
+// the event came from (used for its DQAA update); the fetching worker's
+// requestsize is decremented internally.
+func (w *worker) tryPop() (*task.Task, *reqState) {
+	inst := w.inst
+	n := len(inst.inputs)
+	for i := 0; i < n; i++ {
+		qi := (inst.rrQueue + i) % n
+		if t := inst.inputs[qi].queue.PopFor(w.kind); t != nil {
+			inst.rrQueue = (qi + 1) % n
+			if fs, ok := inst.fetcher[t.ID]; ok {
+				delete(inst.fetcher, t.ID)
+				fs.requestSize--
+				inst.demand.NotifyAll()
+			}
+			return t, w.reqStates[qi]
+		}
+	}
+	return nil, nil
+}
+
+// pop blocks until an event is available or the job completes (nil).
+func (w *worker) pop(e *sim.Env) (*task.Task, *reqState) {
+	for {
+		if t, st := w.tryPop(); t != nil {
+			return t, st
+		}
+		if w.inst.rt.track.done.Fired() {
+			return nil, nil
+		}
+		w.inst.taskAvail.Wait(e)
+	}
+}
+
+// batchAffinityRatio bounds how much less suited a queued event may be than
+// the batch's first event and still be pulled into the same GPU pipeline
+// batch. An idle GPU will still take a strongly CPU-suited event — that is
+// the demand-driven load balancing — but one at a time, via the blocking
+// first pop, not as batch filler: greedily draining another device's
+// prefetched events would starve it (and with DQAA-sized queues of depth
+// ~1, permanently poison it with the other class's work).
+const batchAffinityRatio = 0.5
+
+// tryPopAtLeast pops the best event for the worker whose relative-advantage
+// key is at least minKey, or nil.
+func (w *worker) tryPopAtLeast(minKey float64) (*task.Task, *reqState) {
+	inst := w.inst
+	n := len(inst.inputs)
+	for i := 0; i < n; i++ {
+		qi := (inst.rrQueue + i) % n
+		q := inst.inputs[qi].queue
+		if key, ok := q.PeekKeyFor(w.kind); !ok || key < minKey {
+			continue
+		}
+		if t := q.PopFor(w.kind); t != nil {
+			inst.rrQueue = (qi + 1) % n
+			if fs, ok := inst.fetcher[t.ID]; ok {
+				delete(inst.fetcher, t.ID)
+				fs.requestSize--
+				inst.demand.NotifyAll()
+			}
+			return t, w.reqStates[qi]
+		}
+	}
+	return nil, nil
+}
+
+// popBatch collects up to n events, blocking only for the first. Extension
+// events must have comparable affinity to the first one.
+func (w *worker) popBatch(e *sim.Env, n int) ([]*task.Task, []*reqState) {
+	t, st := w.pop(e)
+	if t == nil {
+		return nil, nil
+	}
+	batch := []*task.Task{t}
+	states := []*reqState{st}
+	ratio := w.inst.rt.tun.BatchAffinityRatio
+	minKey := t.Key[w.kind] * ratio
+	if ratio < 0 {
+		minKey = -1 // any key qualifies: greedy draining (ablation)
+	}
+	for len(batch) < n {
+		t, st := w.tryPopAtLeast(minKey)
+		if t == nil {
+			break
+		}
+		batch = append(batch, t)
+		states = append(states, st)
+	}
+	return batch, states
+}
+
+// run is the worker's main loop (ThreadWorker in Algorithm 2). GPU workers
+// in asynchronous mode batch events through the transfer pipeline, with the
+// batch size driven by Algorithm 1's controller.
+func (w *worker) run(e *sim.Env) {
+	for {
+		if w.kind == hw.GPU && w.exec.Async {
+			batch, states := w.popBatch(e, w.ctrl.Concurrent())
+			if batch == nil {
+				return
+			}
+			start := e.Now()
+			dur := w.exec.RunBatch(e, batch)
+			perEvent := dur / sim.Time(len(batch))
+			for i, t := range batch {
+				w.afterProcess(e, states[i], perEvent)
+				w.finish(e, t, start)
+			}
+			if dur > 0 {
+				before := w.ctrl.Concurrent()
+				w.ctrl.Observe(float64(len(batch)) / float64(dur))
+				if w.ctrl.Concurrent() > before {
+					w.inst.demand.NotifyAll()
+				}
+			}
+		} else {
+			t, st := w.pop(e)
+			if t == nil {
+				return
+			}
+			start := e.Now()
+			if w.kind == hw.GPU {
+				w.exec.RunBatch(e, []*task.Task{t})
+			} else {
+				w.dev.Run(e, t.Cost(w.kind))
+			}
+			w.afterProcess(e, st, e.Now()-start)
+			w.finish(e, t, start)
+		}
+	}
+}
+
+// afterProcess feeds DQAA with the measured processing time (Algorithm 2's
+// targetlength update) and wakes requesters if the target grew.
+func (w *worker) afterProcess(e *sim.Env, st *reqState, timeToProcess sim.Time) {
+	if st == nil || st.dqaa == nil || !st.haveLatency {
+		return
+	}
+	old := st.dqaa.Target()
+	nt := st.dqaa.Observe(st.lastLatency, timeToProcess)
+	if nt != old {
+		if w.inst.rt.OnTarget != nil {
+			w.inst.rt.OnTarget(TargetRecord{
+				Filter:   w.inst.f.Name(),
+				Instance: w.inst.idx,
+				Worker:   w.name(),
+				At:       e.Now(),
+				Target:   nt,
+			})
+		}
+		if nt > old {
+			w.inst.demand.NotifyAll()
+		}
+	}
+}
+
+// finish runs the application handler and applies its action.
+func (w *worker) finish(e *sim.Env, t *task.Task, start sim.Time) {
+	rt := w.inst.rt
+	ctx := &Ctx{
+		Env:      e,
+		Runtime:  rt,
+		Filter:   w.inst.f.Name(),
+		Node:     w.inst.node,
+		Kind:     w.kind,
+		Instance: w.inst.idx,
+	}
+	act := w.inst.f.spec.Handler(ctx, t)
+	now := e.Now()
+	for _, o := range act.Forward {
+		if w.inst.out == nil {
+			panic(fmt.Sprintf("core: filter %q forwards but has no output stream", w.inst.f.Name()))
+		}
+		rt.prep(o, now)
+		w.inst.out.push(o)
+	}
+	for _, o := range act.Resubmit {
+		rt.prep(o, now)
+		w.inst.resubmit(e, o)
+	}
+	// Account new lineages before retiring the input's, so the tracker
+	// can never dip to zero while work is still in flight.
+	if created := len(act.Forward) + len(act.Resubmit); created > 0 {
+		rt.track.adjust(now, int64(created))
+	}
+	rt.track.adjust(now, -1)
+	if rt.OnProcess != nil {
+		rt.OnProcess(ProcRecord{
+			TaskID:  t.ID,
+			Filter:  w.inst.f.Name(),
+			NodeID:  w.inst.node.ID,
+			Kind:    w.kind,
+			Start:   start,
+			End:     now,
+			Params:  t.Params,
+			Payload: t.Payload,
+		})
+	}
+}
+
+// resubmit routes a buffer back to the *root* source filter of this
+// filter's upstream chain (an instance chosen round-robin), paying one
+// control message of network time. Walking to the root makes resubmitted
+// work re-traverse every intermediate processing stage — NBIA's
+// recalculated tiles go back through color conversion even when the
+// pipeline is not fused.
+func (inst *Instance) resubmit(e *sim.Env, o *task.Task) {
+	if len(inst.inputs) == 0 {
+		panic(fmt.Sprintf("core: filter %q resubmits but has no input stream", inst.f.Name()))
+	}
+	src := inst.inputs[0].s.from
+	for len(src.in) > 0 {
+		src = src.in[0].from
+	}
+	tgt := src.instances[inst.resubRR%len(src.instances)]
+	inst.resubRR++
+	from, net := inst.node, inst.rt.Cluster.Net
+	e.Spawn("resubmit", func(ce *sim.Env) {
+		net.Send(ce, from, tgt.node, ctrlMsgBytes)
+		tgt.out.push(o)
+	})
+}
+
+// requester is ThreadRequester (Algorithm 3) for one worker and one input
+// stream: keep requestSize — buffers *being transferred plus received and
+// queued*, as the paper defines it — topped up to the target by demanding
+// buffers from upstream instances, round-robin. Requests are pipelined:
+// several may be outstanding at once, up to the target, which is what lets
+// a consumer of large buffers overlap their network transfers. An upstream
+// instance with nothing to send answers with an empty message; after a full
+// empty cycle the requester backs off briefly before issuing more.
+func (w *worker) requester(e *sim.Env, qi int) {
+	inst := w.inst
+	rt := inst.rt
+	st := w.reqStates[qi]
+	stream := inst.inputs[qi].s
+	senders := make([]*sender, 0, len(stream.from.instances))
+	for _, si := range stream.from.instances {
+		senders = append(senders, si.out)
+	}
+	if len(senders) == 0 {
+		return
+	}
+	// Spread initial round-robin positions across consumers.
+	st.rrSender = inst.idx % len(senders)
+	backoff := minBackoff
+	emptyStreak := 0
+	eof := false
+	for !rt.track.done.Fired() && !eof {
+		if st.requestSize >= w.targetFor(st) {
+			inst.demand.Wait(e)
+			continue
+		}
+		if emptyStreak >= len(senders) {
+			emptyStreak = 0
+			e.Sleep(backoff)
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
+			continue
+		}
+		snd := senders[st.rrSender%len(senders)]
+		st.rrSender++
+		st.requestSize++ // in transit counts toward the target
+		fetch := func(fe *sim.Env) {
+			t0 := fe.Now()
+			replyCh := sim.NewChan[reply](rt.K, 1)
+			rt.Cluster.Net.Send(fe, inst.node, snd.inst.node, ctrlMsgBytes)
+			snd.reqCh.Put(fe, &request{kind: w.kind, from: inst.node, fromInst: inst.idx, reply: replyCh})
+			rep, ok := replyCh.Get(fe)
+			switch {
+			case !ok || rep.eof:
+				eof = true
+				st.requestSize--
+			case rep.t != nil:
+				st.lastLatency = fe.Now() - t0
+				st.haveLatency = true
+				inst.fetcher[rep.t.ID] = st
+				inst.inputs[qi].queue.Push(rep.t)
+				inst.taskAvail.NotifyAll()
+				backoff = minBackoff
+				emptyStreak = 0
+			default: // empty reply: nothing in transit after all
+				st.requestSize--
+				emptyStreak++
+			}
+			inst.demand.NotifyAll() // let the issuing loop reassess
+		}
+		if rt.tun.SerialRequester {
+			// Ablation: the literal synchronous loop of Algorithm 3.
+			fetch(e)
+			continue
+		}
+		e.Spawn(w.name()+"/fetch", fetch)
+		// Yield so the fetch runs (deterministically) before the next
+		// issue decision; the fetch itself blocks on network latency.
+		e.Yield()
+	}
+}

@@ -1,0 +1,90 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/hw"
+)
+
+// ModelReport is the cross-validated accuracy of one model on one profile.
+type ModelReport struct {
+	Model         string
+	SpeedupErrPct float64
+	CPUTimeErrPct float64
+	N             int
+}
+
+// CrossValidateModel runs fold-fold cross-validation of an arbitrary model
+// over a profile, mirroring CrossValidate's methodology: per-device models
+// are trained on the training folds, speedup predictions are ratios of the
+// two device predictions.
+func CrossValidateModel(p *Profile, train Trainer, folds int, seed int64) ModelReport {
+	n := p.Len()
+	if n < folds || folds < 2 {
+		panic("estimator: need at least `folds` samples and folds >= 2")
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	foldOf := make([]int, n)
+	for pos, idx := range perm {
+		foldOf[idx] = pos % folds
+	}
+	var spSum, tSum float64
+	var count int
+	var name string
+	for f := 0; f < folds; f++ {
+		var xs [][]float64
+		var yCPU, yGPU []float64
+		for i, s := range p.samples {
+			if foldOf[i] == f {
+				continue
+			}
+			xs = append(xs, s.Params)
+			yCPU = append(yCPU, s.Times[hw.CPU])
+			yGPU = append(yGPU, s.Times[hw.GPU])
+		}
+		mCPU := train(xs, yCPU)
+		mGPU := train(xs, yGPU)
+		name = mCPU.Name()
+		for i, s := range p.samples {
+			if foldOf[i] != f {
+				continue
+			}
+			actualCPU, actualGPU := s.Times[hw.CPU], s.Times[hw.GPU]
+			if actualCPU <= 0 || actualGPU <= 0 {
+				continue
+			}
+			predCPU := mCPU.Predict(s.Params)
+			predGPU := mGPU.Predict(s.Params)
+			actualSp := actualCPU / actualGPU
+			predSp := actualSp // fall back to perfect if degenerate
+			if predGPU > 0 {
+				predSp = predCPU / predGPU
+			}
+			spSum += math.Abs(predSp-actualSp) / actualSp * 100
+			tSum += math.Abs(predCPU-actualCPU) / actualCPU * 100
+			count++
+		}
+	}
+	if count == 0 {
+		return ModelReport{Model: name}
+	}
+	return ModelReport{
+		Model:         name,
+		SpeedupErrPct: spSum / float64(count),
+		CPUTimeErrPct: tSum / float64(count),
+		N:             count,
+	}
+}
+
+// DefaultModels is the model zoo evaluated by the estimator-ablation
+// experiment: the paper's kNN plus the "more sophisticated" candidates its
+// future-work section names.
+func DefaultModels() []Trainer {
+	return []Trainer{
+		TrainKNN(2),
+		TrainLinReg(),
+		TrainLWR(0.15),
+		TrainTree(4, 2),
+	}
+}

@@ -1,0 +1,226 @@
+// Package estimator implements the paper's Performance Estimator
+// (Section 4): a two-phase scheme in which an application is first
+// benchmarked on a representative workload (the profile), and at run time
+// the relative performance (speedup) of a new task on each device class is
+// predicted with k-nearest-neighbors over the task's input parameters.
+//
+// The distance metric follows the paper: numeric parameters are normalized
+// by the per-dimension maximum of the profile and compared with Euclidean
+// distance; non-numeric attributes contribute 0 on an exact match and 1
+// otherwise.
+//
+// The key empirical claim reproduced here (Table 1) is that *relative*
+// performance is far easier to predict than raw execution time, because the
+// ratio abstracts away data-dependent control flow that affects both devices
+// alike.
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hw"
+)
+
+// Sample is one profiled execution: the task's input parameters and its
+// measured execution time on each device class (in seconds; zero means the
+// device was not measured).
+type Sample struct {
+	Params []float64
+	Cats   []string
+	Times  [hw.NumKinds]float64
+}
+
+// Profile is the training dataset produced by the first (benchmarking)
+// phase.
+type Profile struct {
+	samples []Sample
+	maxima  []float64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{} }
+
+// Add appends a sample and updates the normalization maxima. All samples of
+// one profile must have the same parameter arity.
+func (p *Profile) Add(s Sample) {
+	if len(p.samples) > 0 && len(s.Params) != len(p.maxima) {
+		panic(fmt.Sprintf("estimator: sample arity %d != profile arity %d", len(s.Params), len(p.maxima)))
+	}
+	if p.maxima == nil {
+		p.maxima = make([]float64, len(s.Params))
+	}
+	for i, v := range s.Params {
+		if a := math.Abs(v); a > p.maxima[i] {
+			p.maxima[i] = a
+		}
+	}
+	p.samples = append(p.samples, s)
+}
+
+// Len returns the number of samples.
+func (p *Profile) Len() int { return len(p.samples) }
+
+// Samples returns the underlying samples (read-only use).
+func (p *Profile) Samples() []Sample { return p.samples }
+
+// Distance computes the paper's metric between a query and a sample.
+func (p *Profile) Distance(params []float64, cats []string, s Sample) float64 {
+	var sum float64
+	for i, v := range params {
+		max := 1.0
+		if i < len(p.maxima) && p.maxima[i] > 0 {
+			max = p.maxima[i]
+		}
+		d := (v - s.Params[i]) / max
+		sum += d * d
+	}
+	for i, c := range cats {
+		if i >= len(s.Cats) || s.Cats[i] != c {
+			sum += 1
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// neighbor pairs a sample index with its distance to a query.
+type neighbor struct {
+	idx  int
+	dist float64
+}
+
+// nearest returns the k nearest sample indices (excluding any index in
+// skip), breaking distance ties by insertion order for determinism.
+func (p *Profile) nearest(params []float64, cats []string, k int, skip func(int) bool) []int {
+	ns := make([]neighbor, 0, len(p.samples))
+	for i, s := range p.samples {
+		if skip != nil && skip(i) {
+			continue
+		}
+		ns = append(ns, neighbor{i, p.Distance(params, cats, s)})
+	}
+	sort.SliceStable(ns, func(a, b int) bool { return ns[a].dist < ns[b].dist })
+	if k > len(ns) {
+		k = len(ns)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ns[i].idx
+	}
+	return out
+}
+
+// PredictTime estimates the execution time on a device class as the mean of
+// the k nearest samples' times on that device.
+func (p *Profile) PredictTime(params []float64, cats []string, kind hw.Kind, k int) float64 {
+	return p.predictTime(params, cats, kind, k, nil)
+}
+
+func (p *Profile) predictTime(params []float64, cats []string, kind hw.Kind, k int, skip func(int) bool) float64 {
+	idxs := p.nearest(params, cats, k, skip)
+	if len(idxs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range idxs {
+		sum += p.samples[i].Times[kind]
+	}
+	return sum / float64(len(idxs))
+}
+
+// PredictSpeedup estimates how much faster target is than base for the given
+// task: avgTime(base) / avgTime(target) over the k nearest samples. Values
+// above 1 mean target is faster.
+func (p *Profile) PredictSpeedup(params []float64, cats []string, base, target hw.Kind, k int) float64 {
+	return p.predictSpeedup(params, cats, base, target, k, nil)
+}
+
+func (p *Profile) predictSpeedup(params []float64, cats []string, base, target hw.Kind, k int, skip func(int) bool) float64 {
+	idxs := p.nearest(params, cats, k, skip)
+	if len(idxs) == 0 {
+		return 1
+	}
+	var bt, tt float64
+	for _, i := range idxs {
+		bt += p.samples[i].Times[base]
+		tt += p.samples[i].Times[target]
+	}
+	if tt == 0 {
+		return 1
+	}
+	return bt / tt
+}
+
+// Estimator is the run-time facade the Event Scheduler queries: it predicts
+// the speedup of a task on a device class relative to the baseline CPU.
+type Estimator struct {
+	profile *Profile
+	k       int
+}
+
+// New creates an estimator over a profile with the given k (the paper uses
+// k=2 as near-best across its configurations).
+func New(p *Profile, k int) *Estimator {
+	if k < 1 {
+		panic("estimator: k must be >= 1")
+	}
+	return &Estimator{profile: p, k: k}
+}
+
+// Speedup predicts the speedup of running the described task on kind
+// relative to a baseline CPU core. The CPU baseline itself has speedup 1.
+func (e *Estimator) Speedup(kind hw.Kind, params []float64, cats []string) float64 {
+	if kind == hw.CPU {
+		return 1
+	}
+	return e.profile.PredictSpeedup(params, cats, hw.CPU, kind, e.k)
+}
+
+// Report summarizes a cross-validation: mean absolute percentage errors of
+// the predicted GPU-vs-CPU speedup and of the predicted raw CPU time.
+type Report struct {
+	SpeedupErrPct float64
+	CPUTimeErrPct float64
+	N             int
+}
+
+// CrossValidate performs fold-fold cross-validation with the given k and a
+// deterministic shuffle seed, reproducing the methodology of Table 1.
+func CrossValidate(p *Profile, folds, k int, seed int64) Report {
+	n := p.Len()
+	if n < folds || folds < 2 {
+		panic("estimator: need at least `folds` samples and folds >= 2")
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	foldOf := make([]int, n)
+	for pos, idx := range perm {
+		foldOf[idx] = pos % folds
+	}
+	var spSum, tSum float64
+	var count int
+	for i, s := range p.samples {
+		f := foldOf[i]
+		skip := func(j int) bool { return foldOf[j] == f }
+		actualCPU := s.Times[hw.CPU]
+		actualGPU := s.Times[hw.GPU]
+		if actualCPU <= 0 || actualGPU <= 0 {
+			continue
+		}
+		actualSp := actualCPU / actualGPU
+		predSp := p.predictSpeedup(s.Params, s.Cats, hw.CPU, hw.GPU, k, skip)
+		predT := p.predictTime(s.Params, s.Cats, hw.CPU, k, skip)
+		spSum += math.Abs(predSp-actualSp) / actualSp * 100
+		tSum += math.Abs(predT-actualCPU) / actualCPU * 100
+		count++
+	}
+	if count == 0 {
+		return Report{}
+	}
+	return Report{
+		SpeedupErrPct: spSum / float64(count),
+		CPUTimeErrPct: tSum / float64(count),
+		N:             count,
+	}
+}

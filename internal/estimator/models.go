@@ -1,0 +1,348 @@
+package estimator
+
+import (
+	"math"
+	"sort"
+)
+
+// Model is a learned predictor of per-device execution time from task
+// input parameters. The paper's Section 4 uses kNN and names the study of
+// "more sophisticated model learning algorithms" as future work; this file
+// provides that study's candidates. All models train on a Profile and
+// predict a positive time; speedups are ratios of per-device predictions.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Predict estimates the execution time (seconds) of a task on the
+	// device the model was trained for.
+	Predict(params []float64) float64
+}
+
+// Trainer builds a model from (params, time) pairs.
+type Trainer func(xs [][]float64, ys []float64) Model
+
+// ---------------------------------------------------------------- kNN ---
+
+// knnModel is the paper's estimator recast in the Model interface.
+type knnModel struct {
+	xs     [][]float64
+	ys     []float64
+	maxima []float64
+	k      int
+}
+
+// TrainKNN returns a Trainer for the paper's k-nearest-neighbors model.
+func TrainKNN(k int) Trainer {
+	return func(xs [][]float64, ys []float64) Model {
+		m := &knnModel{xs: xs, ys: ys, k: k}
+		if len(xs) > 0 {
+			m.maxima = make([]float64, len(xs[0]))
+			for _, x := range xs {
+				for i, v := range x {
+					if a := math.Abs(v); a > m.maxima[i] {
+						m.maxima[i] = a
+					}
+				}
+			}
+		}
+		return m
+	}
+}
+
+func (m *knnModel) Name() string { return "kNN" }
+
+func (m *knnModel) Predict(params []float64) float64 {
+	type nd struct {
+		d float64
+		i int
+	}
+	ns := make([]nd, len(m.xs))
+	for i, x := range m.xs {
+		var s float64
+		for j := range params {
+			max := 1.0
+			if j < len(m.maxima) && m.maxima[j] > 0 {
+				max = m.maxima[j]
+			}
+			d := (params[j] - x[j]) / max
+			s += d * d
+		}
+		ns[i] = nd{s, i}
+	}
+	sort.SliceStable(ns, func(a, b int) bool { return ns[a].d < ns[b].d })
+	k := m.k
+	if k > len(ns) {
+		k = len(ns)
+	}
+	if k == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += m.ys[ns[i].i]
+	}
+	return sum / float64(k)
+}
+
+// ------------------------------------------------- linear regression ---
+
+// linregModel is ordinary least squares on log-time with an intercept,
+// solved by normal equations with Gaussian elimination. Fitting log(y)
+// keeps predictions positive and handles the multiplicative noise that
+// dominates execution-time measurements.
+type linregModel struct {
+	w    []float64 // coefficients, w[0] = intercept
+	logY bool
+}
+
+// TrainLinReg returns a Trainer for linear regression on log-time.
+func TrainLinReg() Trainer {
+	return func(xs [][]float64, ys []float64) Model {
+		n := len(xs)
+		if n == 0 {
+			return &linregModel{w: []float64{0}, logY: true}
+		}
+		d := len(xs[0]) + 1
+		// Normal equations: (X'X) w = X'y.
+		a := make([][]float64, d)
+		for i := range a {
+			a[i] = make([]float64, d+1)
+		}
+		row := make([]float64, d)
+		for s := 0; s < n; s++ {
+			row[0] = 1
+			copy(row[1:], xs[s])
+			y := math.Log(math.Max(ys[s], 1e-12))
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					a[i][j] += row[i] * row[j]
+				}
+				a[i][d] += row[i] * y
+			}
+		}
+		// Ridge damping keeps the system solvable when parameters are
+		// collinear or constant.
+		for i := 0; i < d; i++ {
+			a[i][i] += 1e-9
+		}
+		w := solveGauss(a, d)
+		return &linregModel{w: w, logY: true}
+	}
+}
+
+func (m *linregModel) Name() string { return "linear-regression" }
+
+func (m *linregModel) Predict(params []float64) float64 {
+	y := m.w[0]
+	for i, v := range params {
+		if i+1 < len(m.w) {
+			y += m.w[i+1] * v
+		}
+	}
+	if m.logY {
+		return math.Exp(y)
+	}
+	return y
+}
+
+// solveGauss solves the augmented system a (d x d+1) with partial pivoting.
+func solveGauss(a [][]float64, d int) []float64 {
+	for col := 0; col < d; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		if a[col][col] == 0 {
+			continue
+		}
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, d)
+	for i := 0; i < d; i++ {
+		if a[i][i] != 0 {
+			w[i] = a[i][d] / a[i][i]
+		}
+	}
+	return w
+}
+
+// ------------------------------------------ locally weighted regression ---
+
+// lwrModel predicts with a distance-weighted average (Gaussian kernel over
+// normalized distance) — a smooth interpolator between kNN and global
+// regression.
+type lwrModel struct {
+	xs        [][]float64
+	ys        []float64
+	maxima    []float64
+	bandwidth float64
+}
+
+// TrainLWR returns a Trainer for locally weighted (kernel) regression with
+// the given bandwidth in normalized-distance units (e.g. 0.15).
+func TrainLWR(bandwidth float64) Trainer {
+	return func(xs [][]float64, ys []float64) Model {
+		m := &lwrModel{xs: xs, ys: ys, bandwidth: bandwidth}
+		if len(xs) > 0 {
+			m.maxima = make([]float64, len(xs[0]))
+			for _, x := range xs {
+				for i, v := range x {
+					if a := math.Abs(v); a > m.maxima[i] {
+						m.maxima[i] = a
+					}
+				}
+			}
+		}
+		return m
+	}
+}
+
+func (m *lwrModel) Name() string { return "locally-weighted" }
+
+func (m *lwrModel) Predict(params []float64) float64 {
+	var wsum, ysum float64
+	for i, x := range m.xs {
+		var s float64
+		for j := range params {
+			max := 1.0
+			if j < len(m.maxima) && m.maxima[j] > 0 {
+				max = m.maxima[j]
+			}
+			d := (params[j] - x[j]) / max
+			s += d * d
+		}
+		w := math.Exp(-s / (2 * m.bandwidth * m.bandwidth))
+		wsum += w
+		ysum += w * m.ys[i]
+	}
+	if wsum == 0 {
+		// Degenerate: fall back to the global mean.
+		for _, y := range m.ys {
+			ysum += y
+		}
+		return ysum / float64(len(m.ys))
+	}
+	return ysum / wsum
+}
+
+// -------------------------------------------------- regression tree ---
+
+// treeModel is a CART-style regression tree with variance-reduction splits.
+type treeModel struct {
+	root *treeNode
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	value       float64
+	leaf        bool
+}
+
+// TrainTree returns a Trainer for a regression tree with the given maximum
+// depth and minimum leaf size.
+func TrainTree(maxDepth, minLeaf int) Trainer {
+	return func(xs [][]float64, ys []float64) Model {
+		idx := make([]int, len(xs))
+		for i := range idx {
+			idx[i] = i
+		}
+		return &treeModel{root: buildTree(xs, ys, idx, maxDepth, minLeaf)}
+	}
+}
+
+func (m *treeModel) Name() string { return "regression-tree" }
+
+func (m *treeModel) Predict(params []float64) float64 {
+	n := m.root
+	for n != nil && !n.leaf {
+		if params[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return 0
+	}
+	return n.value
+}
+
+func buildTree(xs [][]float64, ys []float64, idx []int, depth, minLeaf int) *treeNode {
+	if len(idx) == 0 {
+		return &treeNode{leaf: true}
+	}
+	mean := 0.0
+	for _, i := range idx {
+		mean += ys[i]
+	}
+	mean /= float64(len(idx))
+	if depth <= 0 || len(idx) < 2*minLeaf {
+		return &treeNode{leaf: true, value: mean}
+	}
+
+	bestSSE := math.Inf(1)
+	bestF, bestT := -1, 0.0
+	nFeat := len(xs[idx[0]])
+	for f := 0; f < nFeat; f++ {
+		ordered := append([]int(nil), idx...)
+		sort.Slice(ordered, func(a, b int) bool { return xs[ordered[a]][f] < xs[ordered[b]][f] })
+		// Prefix sums for O(n) split evaluation.
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, i := range ordered {
+			sumR += ys[i]
+			sqR += ys[i] * ys[i]
+		}
+		for pos := 0; pos < len(ordered)-1; pos++ {
+			y := ys[ordered[pos]]
+			sumL += y
+			sqL += y * y
+			sumR -= y
+			sqR -= y * y
+			nl, nr := float64(pos+1), float64(len(ordered)-pos-1)
+			if int(nl) < minLeaf || int(nr) < minLeaf {
+				continue
+			}
+			if xs[ordered[pos]][f] == xs[ordered[pos+1]][f] {
+				continue // cannot split between equal values
+			}
+			sse := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+			if sse < bestSSE {
+				bestSSE = sse
+				bestF = f
+				bestT = (xs[ordered[pos]][f] + xs[ordered[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestF < 0 {
+		return &treeNode{leaf: true, value: mean}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][bestF] <= bestT {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestF,
+		threshold: bestT,
+		left:      buildTree(xs, ys, li, depth-1, minLeaf),
+		right:     buildTree(xs, ys, ri, depth-1, minLeaf),
+	}
+}

@@ -1,0 +1,162 @@
+package estimator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func TestKNNModelMatchesEstimator(t *testing.T) {
+	xs := [][]float64{{10}, {20}, {1000}}
+	ys := []float64{1, 3, 100}
+	m := TrainKNN(2)(xs, ys)
+	if m.Name() != "kNN" {
+		t.Fatal("name")
+	}
+	// Neighbors of 15 are 10 and 20: mean(1, 3) = 2.
+	if got := m.Predict([]float64{15}); got != 2 {
+		t.Fatalf("predict = %v, want 2", got)
+	}
+}
+
+func TestLinRegRecoversExponentialLaw(t *testing.T) {
+	// y = exp(2 + 3x): exact for log-linear regression.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		x := float64(i) / 10
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Exp(2+3*x))
+	}
+	m := TrainLinReg()(xs, ys)
+	got := m.Predict([]float64{0.55})
+	want := math.Exp(2 + 3*0.55)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("predict = %v, want %v", got, want)
+	}
+}
+
+func TestLinRegHandlesConstantFeature(t *testing.T) {
+	xs := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	ys := []float64{1, 2, 3, 4}
+	m := TrainLinReg()(xs, ys)
+	if got := m.Predict([]float64{2.5, 5}); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("degenerate prediction %v", got)
+	}
+}
+
+func TestLWRInterpolatesSmoothly(t *testing.T) {
+	xs := [][]float64{{0}, {1}}
+	ys := []float64{10, 20}
+	m := TrainLWR(0.3)(xs, ys)
+	mid := m.Predict([]float64{0.5})
+	if mid <= 10 || mid >= 20 {
+		t.Fatalf("midpoint = %v, want inside (10, 20)", mid)
+	}
+	near0 := m.Predict([]float64{0.01})
+	if math.Abs(near0-10) > 2 {
+		t.Fatalf("near-0 prediction = %v, want ~10", near0)
+	}
+}
+
+func TestTreeSplitsOnStep(t *testing.T) {
+	// Step function: x <= 5 -> 1, x > 5 -> 100. A depth-1 tree nails it.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		xs = append(xs, []float64{float64(i)})
+		if i <= 5 {
+			ys = append(ys, 1)
+		} else {
+			ys = append(ys, 100)
+		}
+	}
+	m := TrainTree(3, 2)(xs, ys)
+	if got := m.Predict([]float64{2}); got != 1 {
+		t.Fatalf("left leaf = %v, want 1", got)
+	}
+	if got := m.Predict([]float64{15}); got != 100 {
+		t.Fatalf("right leaf = %v, want 100", got)
+	}
+}
+
+func TestTreeRespectsMinLeaf(t *testing.T) {
+	xs := [][]float64{{1}, {2}}
+	ys := []float64{1, 100}
+	m := TrainTree(5, 2)(xs, ys) // minLeaf 2 forbids any split of 2 points
+	if got := m.Predict([]float64{1}); got != 50.5 {
+		t.Fatalf("got %v, want mean 50.5", got)
+	}
+}
+
+func mkModelProfile(seed int64, n int) *Profile {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProfile()
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		noise := math.Exp(0.3 * rng.NormFloat64())
+		cpu := math.Exp(0.5*x) * noise
+		var s Sample
+		s.Params = []float64{x}
+		s.Times[hw.CPU] = cpu
+		s.Times[hw.GPU] = cpu / (5 + x)
+		p.Add(s)
+	}
+	return p
+}
+
+func TestCrossValidateModelAllFinite(t *testing.T) {
+	p := mkModelProfile(3, 40)
+	for _, tr := range DefaultModels() {
+		rep := CrossValidateModel(p, tr, 10, 1)
+		if rep.N != 40 {
+			t.Fatalf("%s: N = %d", rep.Model, rep.N)
+		}
+		if math.IsNaN(rep.SpeedupErrPct) || math.IsInf(rep.SpeedupErrPct, 0) ||
+			rep.SpeedupErrPct < 0 {
+			t.Fatalf("%s: speedup err %v", rep.Model, rep.SpeedupErrPct)
+		}
+		if rep.SpeedupErrPct >= rep.CPUTimeErrPct {
+			t.Errorf("%s: speedup err %.1f%% >= time err %.1f%%",
+				rep.Model, rep.SpeedupErrPct, rep.CPUTimeErrPct)
+		}
+	}
+}
+
+func TestLinRegBeatsKNNOnLogLinearLaw(t *testing.T) {
+	// On an exactly log-linear workload the parametric model should beat
+	// the non-parametric one for time prediction.
+	p := mkModelProfile(9, 60)
+	knn := CrossValidateModel(p, TrainKNN(2), 10, 1)
+	lin := CrossValidateModel(p, TrainLinReg(), 10, 1)
+	if lin.CPUTimeErrPct >= knn.CPUTimeErrPct {
+		t.Fatalf("linreg time err %.1f%% should beat kNN %.1f%% on log-linear data",
+			lin.CPUTimeErrPct, knn.CPUTimeErrPct)
+	}
+}
+
+func TestModelsPredictPositiveProperty(t *testing.T) {
+	f := func(seed int64, q8 uint8) bool {
+		p := mkModelProfile(seed, 25)
+		var xs [][]float64
+		var ys []float64
+		for _, s := range p.Samples() {
+			xs = append(xs, s.Params)
+			ys = append(ys, s.Times[hw.CPU])
+		}
+		q := []float64{float64(q8) / 25}
+		for _, tr := range DefaultModels() {
+			m := tr(xs, ys)
+			if v := m.Predict(q); v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/hw"
+)
+
+// The profile produced by the benchmarking phase is an artifact: it is
+// collected once per application/cluster pair and reused across runs
+// (Section 4's two-phase strategy). This file gives it a stable JSON
+// serialization.
+
+// jsonSample is the wire form of one profiled execution.
+type jsonSample struct {
+	Params []float64          `json:"params"`
+	Cats   []string           `json:"cats,omitempty"`
+	Times  map[string]float64 `json:"times"`
+}
+
+// jsonProfile is the wire form of a profile.
+type jsonProfile struct {
+	Version int          `json:"version"`
+	Samples []jsonSample `json:"samples"`
+}
+
+// Save writes the profile as JSON.
+func (p *Profile) Save(w io.Writer) error {
+	out := jsonProfile{Version: 1, Samples: make([]jsonSample, 0, p.Len())}
+	for _, s := range p.samples {
+		js := jsonSample{Params: s.Params, Cats: s.Cats, Times: map[string]float64{}}
+		for _, k := range hw.Kinds {
+			if s.Times[k] > 0 {
+				js.Times[k.String()] = s.Times[k]
+			}
+		}
+		out.Samples = append(out.Samples, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a profile previously written by Save.
+func Load(r io.Reader) (*Profile, error) {
+	var in jsonProfile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("estimator: decoding profile: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("estimator: unsupported profile version %d", in.Version)
+	}
+	p := NewProfile()
+	for i, js := range in.Samples {
+		var s Sample
+		s.Params = js.Params
+		s.Cats = js.Cats
+		for name, t := range js.Times {
+			kind, err := kindByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("estimator: sample %d: %w", i, err)
+			}
+			if t < 0 {
+				return nil, fmt.Errorf("estimator: sample %d: negative time for %s", i, name)
+			}
+			s.Times[kind] = t
+		}
+		p.Add(s)
+	}
+	return p, nil
+}
+
+func kindByName(name string) (hw.Kind, error) {
+	for _, k := range hw.Kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown device kind %q", name)
+}

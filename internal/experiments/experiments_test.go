@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	want := []string{"table1", "fig6", "fig7", "table2", "table3", "fig8",
+		"table4", "fig9", "fig10", "table6", "fig11", "fig12", "fig13", "fig14",
+		"fusion", "pushrr", "ablation", "models", "gpusharing", "variance"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Fatalf("experiment %s incompletely registered", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig6"); !ok {
+		t.Fatal("fig6 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		ID: "x", Title: "T", PaperRef: "Figure 0",
+		Expectation: "exp", Body: "body\n",
+		Checks: []Check{
+			check("good", true, "detail %d", 1),
+			check("bad", false, "detail"),
+		},
+	}
+	out := r.Render()
+	for _, want := range []string{"## x — T (Figure 0)", "**Paper:** exp", "body",
+		"[PASS] good — detail 1", "[FAIL] bad"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if r.Passed() {
+		t.Fatal("report with a failing check must not pass")
+	}
+}
+
+// The cheap experiments run as part of the unit suite; the NBIA-heavy ones
+// are exercised by TestAllExperimentShapes (skipped in -short) and by the
+// benchmarks in the repository root.
+
+func TestTable1Experiment(t *testing.T) {
+	rep := runTable1(Config{Seed: 1})
+	if !rep.Passed() {
+		t.Fatalf("table1 checks failed:\n%s", rep.Render())
+	}
+}
+
+func TestTable2Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep := runTable2(Config{Seed: 1})
+	if !rep.Passed() {
+		t.Fatalf("table2 checks failed:\n%s", rep.Render())
+	}
+}
+
+func TestFig12Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep := runFig12(Config{Seed: 1})
+	if !rep.Passed() {
+		t.Fatalf("fig12 checks failed:\n%s", rep.Render())
+	}
+}
+
+func TestAllExperimentShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: full shape suite takes ~3 minutes")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(Config{Seed: 1})
+			for _, c := range rep.Checks {
+				if !c.Pass {
+					t.Errorf("%s: %s — %s", e.ID, c.Name, c.Detail)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/nbia"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "variance",
+		Title:    "Run-to-run variance of the headline results (extension)",
+		PaperRef: "Section 6 methodology",
+		Run:      runVariance,
+	})
+}
+
+// runVariance repeats the heterogeneous base case over different slide
+// regions (tile-ID offsets change every tile's content factor and the
+// recalculation pattern) and different estimator profiles, and checks that
+// (a) variance is within the regime the paper reports (max std dev 3.2%)
+// and (b) the ODDS-over-DDWRR win is statistically significant, not an
+// artifact of one workload instance.
+func runVariance(cfg Config) *Report {
+	const runs = 5
+	tiles := baseTiles(cfg)
+	measure := func(pol policy.StreamPolicy) stats.Summary {
+		var xs []float64
+		for r := 0; r < runs; r++ {
+			k := sim.NewKernel(cfg.Seed + int64(r)*101)
+			cl := nbia.HeteroCluster(k, 2)
+			res, err := nbia.Run(nbia.Config{
+				Cluster: cl, Tiles: tiles, RecalcRate: 0.08,
+				Policy: pol, UseGPU: true, CPUWorkers: -1,
+				AsyncCopy: true, Weights: nbia.WeightEstimator,
+				Seed:     cfg.Seed + int64(r)*977,
+				IDOffset: uint64(r) * 1_000_003,
+			})
+			if err != nil {
+				panic(err)
+			}
+			xs = append(xs, res.Speedup)
+		}
+		return stats.Summarize(xs)
+	}
+	odds := measure(policy.ODDS())
+	ddwrr := measure(policy.DDWRR(ddwrrReq))
+
+	tb := metrics.Table{
+		Title:  fmt.Sprintf("Speedup across %d seeds, heterogeneous base case, %d tiles, 8%% recalc", runs, tiles),
+		Header: []string{"Policy", "Mean ± 95% CI", "Rel. std dev"},
+		Caption: "The paper reports a maximum standard deviation of 3.2% over repeated " +
+			"runs; our seeds perturb estimator profiles and measurement noise.",
+	}
+	tb.AddRow("ODDS", odds.String(), fmt.Sprintf("%.2f%%", odds.RelStd()*100))
+	tb.AddRow("DDWRR", ddwrr.String(), fmt.Sprintf("%.2f%%", ddwrr.RelStd()*100))
+
+	_, sig := stats.WelchT(odds, ddwrr)
+	return &Report{
+		ID: "variance", Title: "Run-to-run variance", PaperRef: "Section 6 methodology",
+		Expectation: "results are stable across repeated runs (the paper's max std dev is " +
+			"3.2%), and the ODDS advantage on heterogeneous clusters is significant.",
+		Body: tb.Render(),
+		Checks: []Check{
+			check("relative std dev within 5% for both policies",
+				odds.RelStd() <= 0.05 && ddwrr.RelStd() <= 0.05,
+				"ODDS %.2f%%, DDWRR %.2f%%", odds.RelStd()*100, ddwrr.RelStd()*100),
+			check("ODDS > DDWRR is statistically significant (Welch t, 95%)",
+				sig, "ODDS %s vs DDWRR %s", odds, ddwrr),
+		},
+	}
+}

@@ -1,0 +1,159 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NetworkConfig parameterizes the cluster interconnect (switched Ethernet)
+// and the on-node message path.
+type NetworkConfig struct {
+	// BandwidthBps is the per-NIC bandwidth in bytes per second.
+	BandwidthBps float64
+	// Latency is the one-way propagation + switching latency.
+	Latency sim.Time
+	// LocalLatency is the cost of delivering a message between filter
+	// instances on the same node (IPC / runtime hand-off); it does not
+	// occupy the NIC.
+	LocalLatency sim.Time
+	// LocalBandwidthBps is the on-node copy bandwidth (memcpy-like).
+	LocalBandwidthBps float64
+}
+
+// Network models a switched full-bisection network: each node owns an
+// egress NIC that serializes its outgoing messages; the fabric itself never
+// congests (reasonable for 14 nodes on a gigabit switch).
+type Network struct {
+	cfg   NetworkConfig
+	bytes int64
+}
+
+// NewNetwork creates a network model.
+func NewNetwork(cfg NetworkConfig) *Network {
+	if cfg.BandwidthBps <= 0 {
+		panic("hw: network bandwidth must be positive")
+	}
+	return &Network{cfg: cfg}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() NetworkConfig { return n.cfg }
+
+// TotalBytes returns total bytes sent over the network.
+func (n *Network) TotalBytes() int64 { return n.bytes }
+
+// segmentBytes is the granularity at which concurrent sends interleave on
+// a NIC, approximating TCP packet multiplexing: a small control message
+// waits at most one segment behind a bulk transfer instead of the whole
+// transfer.
+const segmentBytes = 64 << 10
+
+// Send blocks the caller for the time it takes to move bytes from one node
+// to another: serialization on the sender's NIC (segment-interleaved with
+// concurrent sends) plus propagation latency. Local delivery (same node)
+// pays the cheaper on-node IPC cost and does not occupy the NIC.
+func (n *Network) Send(e *sim.Env, from, to *Node, bytes int64) {
+	if from == to {
+		d := n.cfg.LocalLatency
+		if n.cfg.LocalBandwidthBps > 0 {
+			d += sim.Time(float64(bytes) / n.cfg.LocalBandwidthBps)
+		}
+		e.Sleep(d)
+		return
+	}
+	for sent := int64(0); sent < bytes; sent += segmentBytes {
+		seg := bytes - sent
+		if seg > segmentBytes {
+			seg = segmentBytes
+		}
+		from.egress.Acquire(e)
+		e.Sleep(sim.Time(float64(seg) / n.cfg.BandwidthBps))
+		from.egress.Release()
+	}
+	e.Sleep(n.cfg.Latency)
+	n.bytes += bytes
+}
+
+// NodeSpec describes one machine when building a cluster.
+type NodeSpec struct {
+	// CPUCores is the number of general-purpose cores.
+	CPUCores int
+	// HasGPU adds a GPU and a PCIe link.
+	HasGPU bool
+	// Link overrides the default PCIe parameters when HasGPU is set.
+	Link *LinkConfig
+}
+
+// Node is one machine: a set of CPU cores, optionally a GPU with its PCIe
+// link, and a NIC.
+type Node struct {
+	ID     int
+	CPUs   []*Device
+	GPU    *Device // nil when the node has no accelerator
+	Link   *Link   // nil when the node has no accelerator
+	egress *sim.Resource
+}
+
+// Devices returns all devices of the node in stable order (CPUs then GPU).
+func (n *Node) Devices() []*Device {
+	out := make([]*Device, 0, len(n.CPUs)+1)
+	out = append(out, n.CPUs...)
+	if n.GPU != nil {
+		out = append(out, n.GPU)
+	}
+	return out
+}
+
+// HasGPU reports whether the node has an accelerator.
+func (n *Node) HasGPU() bool { return n.GPU != nil }
+
+// Name returns a stable identifier like "node3".
+func (n *Node) Name() string { return fmt.Sprintf("node%d", n.ID) }
+
+// Cluster ties nodes and the network to one simulation kernel.
+type Cluster struct {
+	K     *sim.Kernel
+	Nodes []*Node
+	Net   *Network
+}
+
+// NewCluster builds a cluster from specs. Pass nil netCfg for defaults.
+func NewCluster(k *sim.Kernel, specs []NodeSpec, netCfg *NetworkConfig) *Cluster {
+	nc := DefaultNetwork
+	if netCfg != nil {
+		nc = *netCfg
+	}
+	c := &Cluster{K: k, Net: NewNetwork(nc)}
+	for i, spec := range specs {
+		if spec.CPUCores < 0 {
+			panic("hw: negative CPU core count")
+		}
+		n := &Node{ID: i, egress: sim.NewResource(k, 1)}
+		for j := 0; j < spec.CPUCores; j++ {
+			d := NewDevice(k, CPU, j)
+			d.NodeID = i
+			n.CPUs = append(n.CPUs, d)
+		}
+		if spec.HasGPU {
+			lc := DefaultLink
+			if spec.Link != nil {
+				lc = *spec.Link
+			}
+			n.GPU = NewDevice(k, GPU, 0)
+			n.GPU.NodeID = i
+			n.Link = NewLink(k, lc)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// Devices returns every device of every node.
+func (c *Cluster) Devices() []*Device {
+	var out []*Device
+	for _, n := range c.Nodes {
+		out = append(out, n.Devices()...)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package hw models the heterogeneous hardware of the paper's testbed — CPU
+// cores, GPUs, the PCIe link between them, and a switched Ethernet network —
+// on top of the virtual-time kernel in internal/sim.
+//
+// The models are deliberately simple but reproduce the behaviours the
+// paper's run-time optimizations react to: data-dependent relative device
+// performance, copy/computation overlap on the PCIe link with a
+// concurrency-dependent saturation point, and request/response latency on
+// the cluster network.
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Kind identifies a class of processing device. The paper's techniques
+// generalize to any number of device classes; CPU and GPU are the two used
+// in the evaluation.
+type Kind int
+
+const (
+	// CPU is a general-purpose core.
+	CPU Kind = iota
+	// GPU is an accelerator reached through a PCIe link.
+	GPU
+	numKinds
+)
+
+// Kinds lists all device kinds in a stable order.
+var Kinds = []Kind{CPU, GPU}
+
+// NumKinds is the number of device classes.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Interval is a closed span of virtual time during which a device was busy.
+type Interval struct {
+	Start, End sim.Time
+}
+
+// Device is a single processing unit. Occupancy is modeled with a
+// counted resource; by default a device executes one task at a time, but
+// SetConcurrency enables the concurrent-kernel mode the paper lists as
+// future work ("the concurrent execution of multiple tasks on the same
+// GPU"): up to `slots` tasks run at once, each slowed by the contention
+// penalty per co-runner.
+type Device struct {
+	NodeID int
+	Kind   Kind
+	Index  int // index among devices of the same kind on the node
+
+	k              *sim.Kernel
+	res            *sim.Resource
+	active         int
+	penalty        float64
+	busy           sim.Time
+	intervals      []Interval
+	recordInterval bool
+}
+
+// NewDevice creates a device attached to no particular node; Cluster wiring
+// sets NodeID. Interval recording is enabled by default.
+func NewDevice(k *sim.Kernel, kind Kind, index int) *Device {
+	return &Device{
+		Kind:           kind,
+		Index:          index,
+		k:              k,
+		res:            sim.NewResource(k, 1),
+		recordInterval: true,
+	}
+}
+
+// SetRecordIntervals toggles collection of busy intervals (kept on by
+// default; turn off for very large runs if memory matters).
+func (d *Device) SetRecordIntervals(on bool) { d.recordInterval = on }
+
+// SetConcurrency allows up to slots concurrent tasks; each task's duration
+// is inflated by penalty for every other task active when it starts
+// (penalty 0.7 and slots 2 means two co-running kernels each take 1.7x
+// their solo time — a ~18% aggregate throughput gain, in line with what
+// concurrent kernels buy on real hardware for small kernels). Must be
+// called before any Run.
+func (d *Device) SetConcurrency(slots int, penalty float64) {
+	if slots < 1 {
+		panic("hw: concurrency slots must be >= 1")
+	}
+	if penalty < 0 {
+		panic("hw: negative concurrency penalty")
+	}
+	d.res = sim.NewResource(d.k, slots)
+	d.penalty = penalty
+}
+
+// Concurrency returns the device's concurrent-task capacity.
+func (d *Device) Concurrency() int { return d.res.Capacity() }
+
+// Run occupies the device for dur of virtual time (inflated under
+// concurrent execution), blocking first if all slots are busy (FIFO).
+func (d *Device) Run(e *sim.Env, dur sim.Time) {
+	d.res.Acquire(e)
+	dur *= sim.Time(1 + d.penalty*float64(d.active))
+	d.active++
+	start := e.Now()
+	e.Sleep(dur)
+	d.active--
+	d.res.Release()
+	d.busy += dur
+	if d.recordInterval {
+		d.intervals = append(d.intervals, Interval{Start: start, End: e.Now()})
+	}
+}
+
+// Busy returns the accumulated busy time.
+func (d *Device) Busy() sim.Time { return d.busy }
+
+// Intervals returns the recorded busy intervals (nil if recording is off).
+func (d *Device) Intervals() []Interval { return d.intervals }
+
+// Name returns a stable human-readable identifier like "n3/GPU0".
+func (d *Device) Name() string {
+	return fmt.Sprintf("n%d/%s%d", d.NodeID, d.Kind, d.Index)
+}

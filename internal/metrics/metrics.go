@@ -1,0 +1,218 @@
+// Package metrics turns raw simulation output — device busy intervals,
+// per-event processing records, DQAA target traces — into the aggregate
+// quantities the paper's tables and figures report: utilization timelines,
+// per-resolution device profiles, and speedups.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Utilization buckets a device's busy intervals over [0, horizon) into n
+// equal bins, each value in [0, 1].
+func Utilization(intervals []hw.Interval, horizon sim.Time, n int) []float64 {
+	out := make([]float64, n)
+	if horizon <= 0 || n <= 0 {
+		return out
+	}
+	bin := horizon / sim.Time(n)
+	for _, iv := range intervals {
+		for b := 0; b < n; b++ {
+			lo := sim.Time(b) * bin
+			hi := lo + bin
+			s, e := iv.Start, iv.End
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				out[b] += float64((e - s) / bin)
+			}
+		}
+	}
+	return out
+}
+
+// MergedUtilization averages utilization over several devices.
+func MergedUtilization(devs []*hw.Device, horizon sim.Time, n int) []float64 {
+	out := make([]float64, n)
+	if len(devs) == 0 {
+		return out
+	}
+	for _, d := range devs {
+		u := Utilization(d.Intervals(), horizon, n)
+		for i := range out {
+			out[i] += u[i] / float64(len(devs))
+		}
+	}
+	return out
+}
+
+// KindProfile is how many events of each class of work each device kind
+// processed — the structure of the paper's Tables 4 and 6.
+type KindProfile struct {
+	// Count[kind][class] is the number of processed events.
+	Count map[hw.Kind]map[int]int
+	// Total[class] is the number of events of that class.
+	Total map[int]int
+}
+
+// ProfileBy classifies processing records with the given function (e.g.
+// resolution level) and tallies them per device kind.
+func ProfileBy(records []core.ProcRecord, classOf func(core.ProcRecord) int) KindProfile {
+	p := KindProfile{Count: map[hw.Kind]map[int]int{}, Total: map[int]int{}}
+	for _, r := range records {
+		c := classOf(r)
+		if p.Count[r.Kind] == nil {
+			p.Count[r.Kind] = map[int]int{}
+		}
+		p.Count[r.Kind][c]++
+		p.Total[c]++
+	}
+	return p
+}
+
+// Percent returns the share (0-100) of class events processed by kind.
+func (p KindProfile) Percent(kind hw.Kind, class int) float64 {
+	tot := p.Total[class]
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(p.Count[kind][class]) / float64(tot)
+}
+
+// Series is a labeled sequence of (x, y) points — one curve of a figure.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	XLabel string
+	YLabel string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table is a generic text table for experiment reports.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces a GitHub-flavored markdown table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	b.WriteString("| ")
+	for i, h := range t.Header {
+		b.WriteString(pad(h, widths[i]))
+		b.WriteString(" | ")
+	}
+	b.WriteString("\n|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString("| ")
+		for i, c := range row {
+			w := len(c)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			b.WriteString(pad(c, w))
+			b.WriteString(" | ")
+		}
+		b.WriteString("\n")
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "\n%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// RenderSeries renders curves as a compact markdown table: one x column and
+// one y column per series (series must share x values).
+func RenderSeries(title string, series []Series) string {
+	tb := Table{Title: title}
+	if len(series) == 0 {
+		return tb.Render()
+	}
+	xl := series[0].XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	tb.Header = []string{xl}
+	for _, s := range series {
+		tb.Header = append(tb.Header, s.Label)
+	}
+	for i := range series[0].X {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.2f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		tb.AddRow(row...)
+	}
+	return tb.Render()
+}
+
+// ArgBest returns the x whose y is minimal (ties: first).
+func ArgBest(x []float64, y []float64, minimize bool) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	best := 0
+	for i := 1; i < len(y) && i < len(x); i++ {
+		if (minimize && y[i] < y[best]) || (!minimize && y[i] > y[best]) {
+			best = i
+		}
+	}
+	return x[best]
+}
+
+// SortedKinds returns the device kinds present in a profile, stable order.
+func (p KindProfile) SortedKinds() []hw.Kind {
+	var kinds []hw.Kind
+	for k := range p.Count {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}

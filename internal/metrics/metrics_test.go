@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+func TestUtilizationFullAndHalf(t *testing.T) {
+	ivs := []hw.Interval{{Start: 0, End: 5}, {Start: 6.25, End: 10}}
+	u := Utilization(ivs, 10, 4)
+	want := []float64{1, 1, 0.5, 1}
+	for i := range want {
+		if math.Abs(u[i]-want[i]) > 1e-9 {
+			t.Fatalf("u = %v, want %v", u, want)
+		}
+	}
+}
+
+func TestUtilizationEmptyAndDegenerate(t *testing.T) {
+	if u := Utilization(nil, 10, 3); u[0] != 0 || len(u) != 3 {
+		t.Fatalf("u = %v", u)
+	}
+	if u := Utilization(nil, 0, 3); len(u) != 3 {
+		t.Fatalf("u = %v", u)
+	}
+}
+
+func TestProfileByLevel(t *testing.T) {
+	recs := []core.ProcRecord{
+		{Kind: hw.CPU, Payload: 0},
+		{Kind: hw.CPU, Payload: 0},
+		{Kind: hw.GPU, Payload: 0},
+		{Kind: hw.GPU, Payload: 1},
+	}
+	p := ProfileBy(recs, func(r core.ProcRecord) int { return r.Payload.(int) })
+	if got := p.Percent(hw.CPU, 0); math.Abs(got-66.6667) > 0.01 {
+		t.Fatalf("CPU share of class 0 = %v", got)
+	}
+	if got := p.Percent(hw.GPU, 1); got != 100 {
+		t.Fatalf("GPU share of class 1 = %v", got)
+	}
+	if got := p.Percent(hw.CPU, 9); got != 0 {
+		t.Fatalf("missing class share = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"a", "bb"}, Caption: "cap"}
+	tb.AddRow("1", "2")
+	out := tb.Render()
+	for _, want := range []string{"### T", "| a ", "| bb ", "| 1 ", "cap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	s1 := Series{Label: "A", XLabel: "n"}
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2 := Series{Label: "B"}
+	s2.Add(1, 30)
+	s2.Add(2, 40)
+	out := RenderSeries("fig", []Series{s1, s2})
+	for _, want := range []string{"### fig", "| n ", "| A ", "| B ", "10.00", "40.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestArgBest(t *testing.T) {
+	x := []float64{1, 2, 4, 8}
+	y := []float64{9, 3, 5, 7}
+	if got := ArgBest(x, y, true); got != 2 {
+		t.Fatalf("argmin = %v, want 2", got)
+	}
+	if got := ArgBest(x, y, false); got != 1 {
+		t.Fatalf("argmax = %v, want 1", got)
+	}
+	if got := ArgBest(nil, nil, true); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+}
+
+func TestSortedKinds(t *testing.T) {
+	recs := []core.ProcRecord{
+		{Kind: hw.GPU, Payload: 0},
+		{Kind: hw.CPU, Payload: 0},
+	}
+	p := ProfileBy(recs, func(core.ProcRecord) int { return 0 })
+	kinds := p.SortedKinds()
+	if len(kinds) != 2 || kinds[0] != hw.CPU || kinds[1] != hw.GPU {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestMergedUtilization(t *testing.T) {
+	if u := MergedUtilization(nil, 10, 4); len(u) != 4 || u[0] != 0 {
+		t.Fatalf("empty merged = %v", u)
+	}
+}
+
+func TestRenderSeriesEmpty(t *testing.T) {
+	out := RenderSeries("empty", nil)
+	if !strings.Contains(out, "### empty") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	s1 := Series{Label: "A", XLabel: "nodes"}
+	s1.Add(1, 10)
+	s1.Add(2, 25)
+	s2 := Series{Label: "B <&>"}
+	s2.Add(1, 5)
+	s2.Add(2, 8)
+	out := RenderSVG("test figure", []Series{s1, s2}, 760, 420)
+	for _, want := range []string{
+		"<svg", "</svg>", "test figure", "polyline", "B &lt;&amp;&gt;", "nodes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines:\n%s", out)
+	}
+}
+
+func TestRenderSVGDegenerate(t *testing.T) {
+	out := RenderSVG("empty", nil, 0, 0)
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("degenerate SVG malformed")
+	}
+	// Constant-Y series must not divide by zero.
+	s := Series{Label: "flat"}
+	s.Add(1, 5)
+	s.Add(2, 5)
+	out = RenderSVG("flat", []Series{s}, 400, 300)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("SVG contains non-finite coordinates:\n%s", out)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		50_000:    "50k",
+		42:        "42",
+		0.125:     "0.12",
+		3:         "3",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgPalette holds the line colors used for successive series.
+var svgPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+// RenderSVG draws the series as a line chart in a self-contained SVG
+// document (pure stdlib, no fonts beyond SVG defaults) — the figures of
+// EXPERIMENTS.md as actual graphics. X values need not be shared between
+// series. Axes are linear and auto-scaled with zero included on Y.
+func RenderSVG(title string, series []Series, width, height int) string {
+	const (
+		padL = 70
+		padR = 160
+		padT = 40
+		padB = 50
+	)
+	if width <= padL+padR+10 {
+		width = padL + padR + 200
+	}
+	if height <= padT+padB+10 {
+		height = padT + padB + 160
+	}
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	minY := 0.0 // include zero so magnitudes are honest
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+			minY = math.Min(minY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) { // no data
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	xOf := func(x float64) float64 { return float64(padL) + (x-minX)/(maxX-minX)*plotW }
+	yOf := func(y float64) float64 { return float64(padT) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", padL, escapeXML(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%f" x2="%f" y2="%f" stroke="black"/>`+"\n",
+		padL, float64(padT)+plotH, float64(padL)+plotW, float64(padT)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%f" stroke="black"/>`+"\n",
+		padL, padT, padL, float64(padT)+plotH)
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%f" y="%f" text-anchor="middle">%s</text>`+"\n",
+			xOf(xv), float64(padT)+plotH+18, fmtTick(xv))
+		fmt.Fprintf(&b, `<text x="%d" y="%f" text-anchor="end">%s</text>`+"\n",
+			padL-6, yOf(yv)+4, fmtTick(yv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%f" x2="%f" y2="%f" stroke="#dddddd"/>`+"\n",
+			padL, yOf(yv), float64(padL)+plotW, yOf(yv))
+	}
+	if len(series) > 0 && series[0].XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			float64(padL)+plotW/2, height-10, escapeXML(series[0].XLabel))
+	}
+
+	// Series polylines + legend.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xOf(s.X[i]), yOf(s.Y[i])))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+			for _, p := range pts {
+				xy := strings.Split(p, ",")
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+			}
+		}
+		ly := padT + 16*si
+		fmt.Fprintf(&b, `<line x1="%f" y1="%d" x2="%f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			float64(width-padR)+12, ly, float64(width-padR)+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%f" y="%d">%s</text>`+"\n",
+			float64(width-padR)+40, ly+4, escapeXML(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// fmtTick renders an axis tick value compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,178 @@
+// Package policy implements the task-assignment building blocks of the
+// paper: FIFO and speedup-sorted task queues (the intra-filter DDFCFS and
+// DDWRR policies and the sender-side Data Buffer Selection Algorithm), the
+// stream-policy matrix of Table 5, and the Dynamic Queue Adaptation
+// Algorithm (DQAA) that ODDS uses to size per-worker data-buffer requests.
+package policy
+
+import (
+	"container/heap"
+
+	"repro/internal/hw"
+	"repro/internal/task"
+)
+
+// Ordering selects how a queue hands out tasks.
+type Ordering int
+
+const (
+	// FCFS pops the oldest task regardless of the requesting device.
+	FCFS Ordering = iota
+	// Sorted pops, for the requesting device class, the task with the
+	// highest relative-advantage key (Task.Key), breaking ties FIFO.
+	Sorted
+)
+
+func (o Ordering) String() string {
+	if o == FCFS {
+		return "FCFS"
+	}
+	return "Sorted"
+}
+
+// heapItem is an entry in a per-device priority heap.
+type heapItem struct {
+	t   *task.Task
+	key float64
+}
+
+type taskHeap []heapItem
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key // max-heap on key
+	}
+	return h[i].t.Seq < h[j].t.Seq // FIFO tie-break
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(heapItem)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a multi-view task queue: one logical set of tasks that can be
+// popped either FIFO or per-device-class by descending relative advantage.
+// A task popped through one view disappears from all views (the paper's
+// DBSA "removes the same buffer from all other sorted queues"); this is
+// implemented with lazy deletion, so Push and PopFor are O(log n) amortized.
+type Queue struct {
+	ordering Ordering
+	fifo     []*task.Task
+	fifoHead int
+	heaps    [hw.NumKinds]taskHeap
+	gone     map[uint64]bool // task IDs already popped
+	n        int
+}
+
+// NewQueue creates an empty queue with the given ordering.
+func NewQueue(o Ordering) *Queue {
+	return &Queue{ordering: o, gone: make(map[uint64]bool)}
+}
+
+// Ordering returns the queue's ordering mode.
+func (q *Queue) Ordering() Ordering { return q.ordering }
+
+// Len returns the number of tasks currently in the queue.
+func (q *Queue) Len() int { return q.n }
+
+// Push inserts a task. A task ID that was popped from this queue earlier
+// may be pushed again (pass-through forwarding around a cycle); its old
+// tombstone is cleared. Pushing a task that is *currently* in the queue is
+// a caller error and corrupts lazy deletion.
+func (q *Queue) Push(t *task.Task) {
+	q.n++
+	delete(q.gone, t.ID)
+	if q.ordering == FCFS {
+		q.fifo = append(q.fifo, t)
+		return
+	}
+	for _, k := range hw.Kinds {
+		heap.Push(&q.heaps[k], heapItem{t: t, key: t.Key[k]})
+	}
+}
+
+// PopFor removes and returns the best task for the given device class, or
+// nil if the queue is empty.
+func (q *Queue) PopFor(kind hw.Kind) *task.Task {
+	if q.n == 0 {
+		return nil
+	}
+	var t *task.Task
+	if q.ordering == FCFS {
+		t = q.popFIFO()
+	} else {
+		t = q.popHeap(kind)
+	}
+	if t != nil {
+		q.n--
+		q.gone[t.ID] = true
+		// Bound the tombstone set: once every live structure has been
+		// drained of ghosts we can forget them.
+		if q.n == 0 {
+			q.compact()
+		}
+	}
+	return t
+}
+
+func (q *Queue) popFIFO() *task.Task {
+	for q.fifoHead < len(q.fifo) {
+		t := q.fifo[q.fifoHead]
+		q.fifo[q.fifoHead] = nil
+		q.fifoHead++
+		if !q.gone[t.ID] {
+			return t
+		}
+	}
+	return nil
+}
+
+func (q *Queue) popHeap(kind hw.Kind) *task.Task {
+	h := &q.heaps[kind]
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if !q.gone[it.t.ID] {
+			return it.t
+		}
+	}
+	return nil
+}
+
+// PeekKeyFor returns the key of the task PopFor(kind) would return, and
+// whether one exists, without removing it.
+func (q *Queue) PeekKeyFor(kind hw.Kind) (float64, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	if q.ordering == FCFS {
+		for i := q.fifoHead; i < len(q.fifo); i++ {
+			if t := q.fifo[i]; t != nil && !q.gone[t.ID] {
+				return t.Key[kind], true
+			}
+		}
+		return 0, false
+	}
+	h := &q.heaps[kind]
+	for h.Len() > 0 {
+		if !q.gone[(*h)[0].t.ID] {
+			return (*h)[0].key, true
+		}
+		heap.Pop(h)
+	}
+	return 0, false
+}
+
+// compact clears tombstones and dead heap entries when the queue is empty.
+func (q *Queue) compact() {
+	q.fifo = q.fifo[:0]
+	q.fifoHead = 0
+	for k := range q.heaps {
+		q.heaps[k] = q.heaps[k][:0]
+	}
+	q.gone = make(map[uint64]bool)
+}

@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StreamPolicy is one row of the paper's Table 5: how the sender queues
+// outgoing data buffers, how the receiver queues incoming ones, and how
+// many data buffers each worker thread keeps requested.
+type StreamPolicy struct {
+	// Name labels the policy in reports ("DDFCFS", "DDWRR", "ODDS").
+	Name string
+	// Sender is the ordering of the sender-side SendQueue. Sorted enables
+	// the Data Buffer Selection Algorithm (DBSA): requests name the device
+	// class that triggered them and receive the buffer with the highest
+	// relative advantage for that class.
+	Sender Ordering
+	// Receiver is the ordering of the receiver-side StreamOutQueue.
+	Receiver Ordering
+	// Dynamic enables DQAA: the per-worker target request size follows the
+	// ratio of request latency to processing time. When false, the static
+	// RequestSize is used for the whole run (chosen by the programmer, as
+	// in the paper's DDFCFS/DDWRR baselines).
+	Dynamic bool
+	// RequestSize is the static per-worker target (ignored when Dynamic).
+	RequestSize int
+	// Push marks a push-based stream: the sender distributes buffers to
+	// consumers immediately (round-robin), with no demand signal at all.
+	// The paper excludes such policies from its evaluation as inherently
+	// poor ("they simply push data buffers down to the consumer filters
+	// without any knowledge of whether the data buffers are being
+	// processed efficiently"); the reproduction implements them so that
+	// exclusion is backed by a measurement.
+	Push bool
+}
+
+func (p StreamPolicy) String() string {
+	if p.Dynamic {
+		return fmt.Sprintf("%s(dynamic)", p.Name)
+	}
+	return fmt.Sprintf("%s(req=%d)", p.Name, p.RequestSize)
+}
+
+// DDFCFS is the demand-driven first-come-first-served stream policy:
+// unsorted queues on both sides, static request size.
+func DDFCFS(requestSize int) StreamPolicy {
+	return StreamPolicy{Name: "DDFCFS", Sender: FCFS, Receiver: FCFS, RequestSize: requestSize}
+}
+
+// DDWRR is the demand-driven weighted-round-robin stream policy: unsorted
+// sender queue, receiver queue sorted by speedup, static request size.
+func DDWRR(requestSize int) StreamPolicy {
+	return StreamPolicy{Name: "DDWRR", Sender: FCFS, Receiver: Sorted, RequestSize: requestSize}
+}
+
+// ODDS is the on-demand dynamic selective stream: both queues sorted by
+// speedup (DBSA on the sender) and DQAA-controlled dynamic request sizes.
+func ODDS() StreamPolicy {
+	return StreamPolicy{Name: "ODDS", Sender: Sorted, Receiver: Sorted, Dynamic: true, RequestSize: 1}
+}
+
+// RRPush is the push-based round-robin policy the paper rules out: buffers
+// are shipped to consumer instances in rotation as soon as they exist.
+func RRPush() StreamPolicy {
+	return StreamPolicy{Name: "RR-push", Sender: FCFS, Receiver: FCFS, Push: true, RequestSize: 1}
+}
+
+// DQAA implements the Dynamic Queue Adaptation Algorithm of Section 5.3.1.
+// Derived from TCP Vegas congestion control, it compares the time a data
+// request takes to be answered (requestLatency) against the time the worker
+// needs to process one buffer (timeToProcess): their ratio is the number of
+// buffers that must be in flight or queued to keep the worker busy. The
+// target moves by one step per observation, as in Algorithm 2.
+type DQAA struct {
+	target int
+	floor  int
+	max    int
+}
+
+// NewDQAA creates a controller with initial target 2 and the given upper
+// bound (a memory guard; <= 0 means a default of 1024). Algorithm 2
+// initializes the target to 1; we use 2 — one buffer in transit plus one
+// queued — because a depth-1 pipeline leaves the worker with an empty
+// queue every time it finishes a buffer, and on a shared StreamOutQueue
+// those windows make it pop another device class's prefetched (and badly
+// suited) buffers instead of waiting the sub-millisecond for its own.
+func NewDQAA(max int) *DQAA { return NewDQAATuned(2, max) }
+
+// NewDQAATuned creates a controller with an explicit floor (>= 1), for
+// ablations of the floor choice.
+func NewDQAATuned(floor, max int) *DQAA {
+	if max <= 0 {
+		max = 1024
+	}
+	if floor < 1 {
+		floor = 1
+	}
+	return &DQAA{target: floor, floor: floor, max: max}
+}
+
+// Target returns the current target request size.
+func (d *DQAA) Target() int { return d.target }
+
+// Observe feeds one processed buffer's measurements and returns the updated
+// target.
+func (d *DQAA) Observe(requestLatency, timeToProcess sim.Time) int {
+	if timeToProcess <= 0 {
+		// Instantaneous processing: the worker can absorb as much as the
+		// stream can deliver; grow by one step.
+		d.target++
+	} else {
+		ideal := float64(requestLatency) / float64(timeToProcess)
+		if ideal > float64(d.target) {
+			d.target++
+		} else if ideal < float64(d.target) {
+			d.target--
+		}
+	}
+	if d.target < d.floor {
+		d.target = d.floor
+	}
+	if d.target > d.max {
+		d.target = d.max
+	}
+	return d.target
+}

@@ -1,0 +1,141 @@
+package sim
+
+// Chan is a blocking FIFO channel between simulated processes, analogous to
+// a Go channel but operating in virtual time. A capacity of zero gives
+// rendezvous semantics. All operations must be called from simulated
+// processes of the same kernel.
+type Chan[T any] struct {
+	k        *Kernel
+	capacity int
+	buf      []T
+	getQ     []*chanGetter[T]
+	putQ     []*chanPutter[T]
+	closed   bool
+}
+
+type chanGetter[T any] struct {
+	p   *proc
+	val T
+	ok  bool
+	hit bool // value delivered directly (or channel closed)
+}
+
+type chanPutter[T any] struct {
+	p   *proc
+	val T
+}
+
+// NewChan creates a channel with the given buffer capacity (>= 0).
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan[T]{k: k, capacity: capacity}
+}
+
+// Len reports the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Put delivers v, blocking while the buffer is full (or, for capacity zero,
+// until a getter arrives). Put on a closed channel panics.
+func (c *Chan[T]) Put(e *Env, v T) {
+	if c.closed {
+		panic("sim: put on closed channel")
+	}
+	// Direct hand-off to a waiting getter keeps FIFO order only when no
+	// values are already buffered ahead of v.
+	if len(c.getQ) > 0 && len(c.buf) == 0 {
+		g := c.getQ[0]
+		c.getQ = c.getQ[1:]
+		g.val, g.ok, g.hit = v, true, true
+		c.k.schedule(c.k.now, g.p)
+		return
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return
+	}
+	w := &chanPutter[T]{p: e.p, val: v}
+	c.putQ = append(c.putQ, w)
+	c.k.park(e.p)
+	if c.closed {
+		panic("sim: channel closed while put blocked")
+	}
+}
+
+// Get removes and returns the next value. It blocks while the channel is
+// empty; it returns ok=false once the channel is closed and drained.
+func (c *Chan[T]) Get(e *Env) (T, bool) {
+	for {
+		if v, ok := c.takeReady(); ok {
+			return v, true
+		}
+		if c.closed {
+			var zero T
+			return zero, false
+		}
+		g := &chanGetter[T]{p: e.p}
+		c.getQ = append(c.getQ, g)
+		c.k.park(e.p)
+		if g.hit {
+			return g.val, g.ok
+		}
+		// Spurious wakeup is impossible in this kernel, but the loop also
+		// covers the close-while-waiting path where hit is set with ok=false.
+	}
+}
+
+// TryGet is the non-blocking variant of Get: ok=false means no value was
+// immediately available.
+func (c *Chan[T]) TryGet() (T, bool) {
+	if v, ok := c.takeReady(); ok {
+		return v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// takeReady pops a buffered value (promoting a blocked putter into the
+// buffer) or accepts a value from a blocked putter directly (rendezvous).
+func (c *Chan[T]) takeReady() (T, bool) {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.putQ) > 0 {
+			w := c.putQ[0]
+			c.putQ = c.putQ[1:]
+			c.buf = append(c.buf, w.val)
+			c.k.schedule(c.k.now, w.p)
+		}
+		return v, true
+	}
+	if len(c.putQ) > 0 { // capacity 0 rendezvous
+		w := c.putQ[0]
+		c.putQ = c.putQ[1:]
+		c.k.schedule(c.k.now, w.p)
+		return w.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Close marks the channel closed and wakes all blocked getters with
+// ok=false. Items already buffered remain retrievable. Closing twice
+// panics, as does closing with blocked putters.
+func (c *Chan[T]) Close(e *Env) {
+	if c.closed {
+		panic("sim: close of closed channel")
+	}
+	if len(c.putQ) > 0 {
+		panic("sim: close with blocked putters")
+	}
+	c.closed = true
+	for _, g := range c.getQ {
+		g.hit, g.ok = true, false
+		c.k.schedule(c.k.now, g.p)
+	}
+	c.getQ = nil
+}

@@ -1,0 +1,276 @@
+// Package sim provides a deterministic, virtual-time discrete-event
+// simulation kernel in the style of SimPy.
+//
+// Simulated processes are goroutines that cooperate with the kernel through a
+// strict hand-off protocol: at any instant exactly one goroutine (either the
+// kernel or a single process) is running, so simulations are fully
+// deterministic for a fixed seed regardless of GOMAXPROCS.
+//
+// A process is any function with signature func(*Env). It advances virtual
+// time with Env.Sleep, communicates through Chan, and synchronizes with
+// Resource, Signal and Cond. The kernel runs until no scheduled events
+// remain (or an explicit horizon is reached); processes still blocked at
+// that point are killed cleanly so goroutines are not leaked.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in virtual time, in seconds. Durations are also expressed
+// as Time; the zero value is the simulation epoch.
+type Time float64
+
+// Seconds returns t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Milliseconds returns t as a float64 number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) * 1e3 }
+
+// Microsecond, Millisecond and Second are convenience duration units.
+const (
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateParked
+	stateDone
+)
+
+// proc is the kernel-side record of one simulated process.
+type proc struct {
+	id     int
+	name   string
+	state  procState
+	resume chan struct{}
+	killed bool
+	env    *Env
+}
+
+// killSentinel is the panic value used to unwind killed processes.
+type killSentinel struct{}
+
+// procPanic wraps a panic raised inside a simulated process so the kernel
+// can report which process failed.
+type procPanic struct {
+	name  string
+	value any
+}
+
+func (p procPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", p.name, p.value)
+}
+
+type event struct {
+	at   Time
+	seq  uint64
+	proc *proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) popMin() event     { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Kernel is a discrete-event simulation instance. Create one with NewKernel,
+// spawn processes with Spawn, then call Run from the goroutine that created
+// it. A Kernel must not be reused after Run returns.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*proc
+	live    int
+	idgen   int
+	failure error
+	rng     *rand.Rand
+	running bool
+}
+
+// NewKernel returns a kernel whose processes draw randomness from the given
+// seed. The same seed always yields an identical execution.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from simulated processes or between Run calls, never concurrently.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Spawn registers a new process. It may be called before Run or from inside
+// a running process (usually via Env.Spawn). The process starts at the
+// current virtual time, after previously scheduled same-time events.
+func (k *Kernel) Spawn(name string, fn func(*Env)) {
+	p := &proc{
+		id:     k.idgen,
+		name:   name,
+		state:  stateNew,
+		resume: make(chan struct{}),
+	}
+	k.idgen++
+	p.env = &Env{k: k, p: p}
+	k.procs = append(k.procs, p)
+	k.live++
+	go k.runProc(p, fn)
+	k.schedule(k.now, p)
+}
+
+func (k *Kernel) runProc(p *proc, fn func(*Env)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); !isKill {
+				if k.failure == nil {
+					k.failure = procPanic{name: p.name, value: r}
+				}
+			}
+		}
+		p.state = stateDone
+		k.live--
+		k.yield <- struct{}{}
+	}()
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	p.state = stateRunning
+	fn(p.env)
+}
+
+// schedule enqueues a wakeup for p at time t.
+func (k *Kernel) schedule(t Time, p *proc) {
+	if t < k.now {
+		t = k.now
+	}
+	p.state = stateRunnable
+	k.events.pushEvent(event{at: t, seq: k.seq, proc: p})
+	k.seq++
+}
+
+// park suspends the calling process until the kernel resumes it. It must be
+// called with the process already registered on some wait list or scheduled.
+func (k *Kernel) park(p *proc) {
+	p.state = stateParked
+	k.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	p.state = stateRunning
+}
+
+// Run executes events until none remain. It returns the first process panic
+// as an error, if any. Processes still blocked when the event queue drains
+// are killed (their deferred functions run) before Run returns.
+func (k *Kernel) Run() error { return k.RunUntil(-1) }
+
+// RunUntil executes events with virtual timestamps <= horizon; a negative
+// horizon means "run to completion". Remaining processes are killed before
+// returning, so the kernel cannot be resumed afterwards.
+func (k *Kernel) RunUntil(horizon Time) error {
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	for k.failure == nil && k.events.Len() > 0 {
+		e := k.events.popMin()
+		if horizon >= 0 && e.at > horizon {
+			k.events.pushEvent(e)
+			break
+		}
+		if e.proc.state == stateDone {
+			continue
+		}
+		k.now = e.at
+		k.dispatch(e.proc)
+	}
+	k.shutdown()
+	return k.failure
+}
+
+// dispatch hands control to p and waits for it to yield back.
+func (k *Kernel) dispatch(p *proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// shutdown kills every process that is still alive so that no goroutines
+// leak past Run.
+func (k *Kernel) shutdown() {
+	// Kill in a stable order for determinism of any side effects in defers.
+	alive := make([]*proc, 0, len(k.procs))
+	for _, p := range k.procs {
+		if p.state != stateDone {
+			alive = append(alive, p)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].id < alive[j].id })
+	for _, p := range alive {
+		p.killed = true
+		k.dispatch(p)
+	}
+}
+
+// Env is a process's handle to the kernel. One Env belongs to exactly one
+// process; it must not be shared across processes.
+type Env struct {
+	k *Kernel
+	p *proc
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.k.now }
+
+// Kernel returns the kernel this process runs on, for constructing
+// synchronization primitives from inside a process.
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// Rand returns the kernel's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.k.rng }
+
+// Name returns the name the process was spawned with.
+func (e *Env) Name() string { return e.p.name }
+
+// Sleep suspends the calling process for d of virtual time. Negative
+// durations sleep zero time (the process still yields, so same-time events
+// scheduled earlier run first).
+func (e *Env) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e.k.schedule(e.k.now+d, e.p)
+	e.k.park(e.p)
+}
+
+// Yield reschedules the process at the current time behind already-queued
+// same-time events. Useful to let other runnable processes make progress.
+func (e *Env) Yield() { e.Sleep(0) }
+
+// Spawn starts a new process at the current virtual time.
+func (e *Env) Spawn(name string, fn func(*Env)) { e.k.Spawn(name, fn) }

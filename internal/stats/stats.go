@@ -1,0 +1,114 @@
+// Package stats provides the small statistical toolkit the evaluation
+// uses: summary statistics with confidence intervals across repeated
+// seeded runs (the paper reports averages over repeated runs with a
+// maximum standard deviation of 3.2%), and helpers for comparing
+// configurations.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(n)
+	if n > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(n-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return s
+}
+
+// RelStd returns the coefficient of variation (std/mean), the quantity the
+// paper bounds at 3.2%.
+func (s Summary) RelStd() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / math.Abs(s.Mean)
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values for small
+// degrees of freedom; beyond the table the normal value is used.
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	df := s.N - 1
+	t := 1.96
+	if df < len(tCritical95) {
+		t = tCritical95[df]
+	}
+	return t * s.Std / math.Sqrt(float64(s.N))
+}
+
+// String renders mean ± CI95 (n=N).
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean, s.CI95(), s.N)
+}
+
+// WelchT computes Welch's t statistic for the difference of two means and
+// reports whether a exceeds b significantly at ~95% (using the smaller
+// sample's critical value — conservative and table-free).
+func WelchT(a, b Summary) (t float64, aGreater bool) {
+	if a.N < 2 || b.N < 2 {
+		return 0, a.Mean > b.Mean
+	}
+	se := math.Sqrt(a.Std*a.Std/float64(a.N) + b.Std*b.Std/float64(b.N))
+	if se == 0 {
+		return math.Inf(1), a.Mean > b.Mean
+	}
+	t = (a.Mean - b.Mean) / se
+	df := a.N
+	if b.N < df {
+		df = b.N
+	}
+	crit := 1.96
+	if df-1 < len(tCritical95) && df >= 2 {
+		crit = tCritical95[df-1]
+	}
+	return t, t > crit
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-2.138) > 0.001 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 || s.Median != 4.5 {
+		t.Fatalf("min/max/median = %v/%v/%v", s.Min, s.Max, s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.CI95() != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestRelStd(t *testing.T) {
+	s := Summary{Mean: 100, Std: 3.2}
+	if math.Abs(s.RelStd()-0.032) > 1e-12 {
+		t.Fatalf("relstd = %v", s.RelStd())
+	}
+	if (Summary{}).RelStd() != 0 {
+		t.Fatal("zero-mean relstd should be 0")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	a := Summary{N: 3, Std: 1}
+	b := Summary{N: 20, Std: 1}
+	if a.CI95() <= b.CI95() {
+		t.Fatalf("CI95: n=3 %v should exceed n=20 %v", a.CI95(), b.CI95())
+	}
+}
+
+func TestWelchTSeparatesClearMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, b []float64
+	for i := 0; i < 10; i++ {
+		a = append(a, 10+rng.NormFloat64()*0.5)
+		b = append(b, 5+rng.NormFloat64()*0.5)
+	}
+	_, sig := WelchT(Summarize(a), Summarize(b))
+	if !sig {
+		t.Fatal("clearly separated means not flagged significant")
+	}
+	_, sig = WelchT(Summarize(b), Summarize(a))
+	if sig {
+		t.Fatal("reverse comparison flagged significant")
+	}
+}
+
+func TestWelchTOverlappingMeansNotSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b []float64
+	for i := 0; i < 8; i++ {
+		a = append(a, 10+rng.NormFloat64()*3)
+		b = append(b, 10+rng.NormFloat64()*3)
+	}
+	if _, sig := WelchT(Summarize(a), Summarize(b)); sig {
+		t.Fatal("same-mean samples flagged significant")
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*100 - 50
+		}
+		s := Summarize(xs)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			return false
+		}
+		return s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

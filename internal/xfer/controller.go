@@ -1,0 +1,70 @@
+// Package xfer implements Section 5.1 of the paper: asynchronous,
+// overlapped CPU/GPU data transfers driven by an adaptive controller
+// (Algorithm 1) that searches at run time for the number of concurrent
+// in-flight events (CUDA streams) that maximizes GPU throughput.
+package xfer
+
+// Controller is the throughput-feedback search of Algorithm 1. It starts at
+// two concurrent events and a step of two, grows the step exponentially
+// until throughput first decreases, then reverts one step and continues
+// with single-step adjustments around the saturation point.
+type Controller struct {
+	concurrent int
+	stepSize   int
+	stopExp    bool
+	last       float64
+	haveLast   bool
+	min, max   int
+}
+
+// NewController creates a controller bounded by [1, max] concurrent events
+// (max <= 0 means a default of 256, standing in for "bounded by available
+// GPU memory").
+func NewController(max int) *Controller {
+	if max <= 0 {
+		max = 256
+	}
+	return &Controller{concurrent: 2, stepSize: 2, min: 1, max: max}
+}
+
+// Concurrent returns the number of events the next batch should contain.
+func (c *Controller) Concurrent() int { return c.concurrent }
+
+// Observe feeds the throughput of the batch just executed (events per
+// second, or any consistent rate unit) and adjusts the concurrency level
+// following Algorithm 1.
+func (c *Controller) Observe(throughput float64) {
+	defer func() {
+		if c.concurrent < c.min {
+			c.concurrent = c.min
+		}
+		if c.concurrent > c.max {
+			c.concurrent = c.max
+		}
+		c.last = throughput
+		c.haveLast = true
+	}()
+	if !c.haveLast {
+		return
+	}
+	switch {
+	case throughput > c.last:
+		c.concurrent += c.stepSize
+		if !c.stopExp {
+			c.stepSize *= 2
+		}
+	case throughput < c.last && c.concurrent > 2:
+		c.concurrent -= c.stepSize
+		c.stepSize /= 2
+		if c.stepSize < 1 {
+			c.stepSize = 1
+		}
+		c.stopExp = true
+	}
+}
+
+// StepSize returns the current search step (exported for tests/ablation).
+func (c *Controller) StepSize() int { return c.stepSize }
+
+// SaturationFound reports whether the exponential phase has ended.
+func (c *Controller) SaturationFound() bool { return c.stopExp }

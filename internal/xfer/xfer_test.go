@@ -1,0 +1,217 @@
+package xfer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func TestControllerStartsAtTwo(t *testing.T) {
+	c := NewController(0)
+	if c.Concurrent() != 2 {
+		t.Fatalf("initial = %d, want 2", c.Concurrent())
+	}
+}
+
+func TestControllerExponentialGrowth(t *testing.T) {
+	c := NewController(0)
+	// Monotonically improving throughput: 2 -> +2 -> +4 -> +8 ...
+	c.Observe(1) // first observation only records a baseline
+	want := []int{4, 8, 16, 32}
+	for i, w := range want {
+		c.Observe(float64(2 + i))
+		if c.Concurrent() != w {
+			t.Fatalf("step %d: concurrent = %d, want %d", i, c.Concurrent(), w)
+		}
+	}
+	if c.SaturationFound() {
+		t.Fatal("saturation flagged during pure growth")
+	}
+}
+
+func TestControllerBacksOffOnDecrease(t *testing.T) {
+	c := NewController(0)
+	c.Observe(1)
+	c.Observe(2) // -> 4, step 4
+	c.Observe(3) // -> 8, step 8
+	c.Observe(2) // decrease: revert 8-8 -> min clamp 1? No: 8-8=0 -> clamped to 1, step 4, stopExp
+	if !c.SaturationFound() {
+		t.Fatal("saturation not flagged")
+	}
+	if c.Concurrent() < 1 {
+		t.Fatalf("concurrent = %d", c.Concurrent())
+	}
+	// After saturation the step no longer doubles on growth.
+	before := c.Concurrent()
+	step := c.StepSize()
+	c.Observe(5)
+	if c.Concurrent() != before+step {
+		t.Fatalf("post-saturation growth: %d -> %d (step %d)", before, c.Concurrent(), step)
+	}
+	if c.StepSize() != step {
+		t.Fatalf("step doubled after saturation: %d -> %d", step, c.StepSize())
+	}
+}
+
+func TestControllerNeverBelowOneNorAboveMax(t *testing.T) {
+	f := func(ups []bool) bool {
+		c := NewController(64)
+		tp := 1.0
+		for _, up := range ups {
+			if up {
+				tp *= 1.1
+			} else {
+				tp *= 0.9
+			}
+			c.Observe(tp)
+			if c.Concurrent() < 1 || c.Concurrent() > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkXferTask(size, out int64, gpuCost sim.Time) *task.Task {
+	tk := &task.Task{Size: size, OutSize: out, Cost: func(k hw.Kind) sim.Time {
+		if k == hw.GPU {
+			return gpuCost
+		}
+		return gpuCost * 10
+	}}
+	tk.SetUniformWeight()
+	return tk
+}
+
+func runBatchOn(t *testing.T, async bool, n int, size int64, gpuCost sim.Time, cfg hw.LinkConfig) sim.Time {
+	t.Helper()
+	k := sim.NewKernel(1)
+	dev := hw.NewDevice(k, hw.GPU, 0)
+	link := hw.NewLink(k, cfg)
+	ex := NewExecutor(dev, link, async)
+	batch := make([]*task.Task, n)
+	for i := range batch {
+		batch[i] = mkXferTask(size, size, gpuCost)
+	}
+	var dur sim.Time
+	k.Spawn("gpu", func(e *sim.Env) {
+		dur = ex.RunBatch(e, batch)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return dur
+}
+
+func TestSyncBatchIsSumOfPhases(t *testing.T) {
+	cfg := hw.LinkConfig{BandwidthBps: 1e9, Latency: 0}
+	// each event: 1ms in + 2ms kernel + 1ms out = 4ms
+	got := runBatchOn(t, false, 3, 1e6, 2*sim.Millisecond, cfg)
+	want := 12 * sim.Millisecond
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("sync batch = %v, want %v", got, want)
+	}
+}
+
+func TestAsyncOverlapsCopiesWithCompute(t *testing.T) {
+	cfg := hw.LinkConfig{BandwidthBps: 1e9, Latency: 0}
+	sync := runBatchOn(t, false, 8, 1e6, 2*sim.Millisecond, cfg)
+	async := runBatchOn(t, true, 8, 1e6, 2*sim.Millisecond, cfg)
+	if async >= sync {
+		t.Fatalf("async (%v) not faster than sync (%v)", async, sync)
+	}
+	// Ideal async per Algorithm 1: first copy (1ms) + 8 kernels (16ms) +
+	// 8 serialized D2H copies (8ms) = 25ms, vs 32ms sync.
+	if async > 25*sim.Millisecond+sim.Microsecond {
+		t.Fatalf("async batch = %v, want 25ms", async)
+	}
+}
+
+func TestAsyncThroughputSaturatesWithCongestion(t *testing.T) {
+	// With congestion, per-event time first drops with batch size, then
+	// rises again: the shape Figure 7 shows and Algorithm 1 searches.
+	cfg := hw.LinkConfig{BandwidthBps: 1e9, Latency: 50 * sim.Microsecond, Congestion: 0.08}
+	per := func(n int) float64 {
+		d := runBatchOn(t, true, n, 1e6, 1200*sim.Microsecond, cfg)
+		return float64(d) / float64(n)
+	}
+	small, mid, large := per(1), per(8), per(96)
+	if mid >= small {
+		t.Fatalf("batching did not help: per-event %v (n=1) vs %v (n=8)", small, mid)
+	}
+	if large <= mid {
+		t.Fatalf("no saturation: per-event %v (n=8) vs %v (n=96)", mid, large)
+	}
+}
+
+func TestExecutorNilArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExecutor(nil, nil, true)
+}
+
+func TestEmptyBatchIsFree(t *testing.T) {
+	k := sim.NewKernel(1)
+	dev := hw.NewDevice(k, hw.GPU, 0)
+	link := hw.NewLink(k, hw.DefaultLink)
+	ex := NewExecutor(dev, link, true)
+	k.Spawn("gpu", func(e *sim.Env) {
+		if d := ex.RunBatch(e, nil); d != 0 {
+			t.Errorf("empty batch took %v", d)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerPlateauHoldsSteady(t *testing.T) {
+	// Equal throughput (neither > nor <) leaves the concurrency unchanged,
+	// exactly as Algorithm 1's two guarded branches imply.
+	c := NewController(0)
+	c.Observe(5)
+	c.Observe(6) // growth to 4
+	at := c.Concurrent()
+	for i := 0; i < 10; i++ {
+		c.Observe(6)
+	}
+	if c.Concurrent() != at {
+		t.Fatalf("plateau moved concurrency: %d -> %d", at, c.Concurrent())
+	}
+}
+
+func TestControllerNoDecreaseAtFloorTwo(t *testing.T) {
+	// Algorithm 1 only backs off when concurrentEvents > 2.
+	c := NewController(0)
+	c.Observe(10)
+	c.Observe(5) // decrease observed, but concurrent == 2: no change
+	if c.Concurrent() != 2 {
+		t.Fatalf("concurrent = %d, want 2", c.Concurrent())
+	}
+	if c.SaturationFound() {
+		t.Fatal("saturation should not be flagged at the floor")
+	}
+}
+
+func TestSyncModeIgnoresBatching(t *testing.T) {
+	// In sync mode the executor still processes every event, just without
+	// overlap; durations are additive regardless of batch grouping.
+	cfg := hw.LinkConfig{BandwidthBps: 1e9, Latency: 0}
+	oneBatch := runBatchOn(t, false, 6, 1e6, sim.Millisecond, cfg)
+	var split sim.Time
+	for i := 0; i < 3; i++ {
+		split += runBatchOn(t, false, 2, 1e6, sim.Millisecond, cfg)
+	}
+	if d := oneBatch - split; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("sync batching changed total time: %v vs %v", oneBatch, split)
+	}
+}
