@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test test-short test-race bench-sweep check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1: what must stay green on every change (~6 min; -short for ~20 s).
+test: build
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full suite plus the quick serial-vs-parallel determinism check under the
+# race detector.
+test-race:
+	$(GO) test -race -timeout 20m ./...
+
+# Regenerates BENCH_sweep.json: full-report wall time serial vs parallel,
+# points/sec, speedup, byte-identity, and kernel allocs/op.
+bench-sweep:
+	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
+
+# Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,
+# sweep benchmark). See scripts/check.sh for knobs.
+check:
+	./scripts/check.sh

@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"flag"
+	"io"
 	"testing"
 
 	"repro/internal/apps/microbench"
@@ -159,3 +160,30 @@ func BenchmarkVariance(b *testing.B) { benchExperiment(b, "variance") }
 func BenchmarkFusion(b *testing.B) { benchExperiment(b, "fusion") }
 
 func BenchmarkPushRR(b *testing.B) { benchExperiment(b, "pushrr") }
+
+// Full-report benchmarks: the complete EXPERIMENTS.md regeneration, serial
+// vs on the sweep worker pool. On a multi-core host the parallel run should
+// finish in a fraction of the serial wall time with byte-identical output
+// (TestRunAllDeterminism asserts the identity); cmd/benchsweep packages the
+// same comparison as a machine-readable BENCH_sweep.json.
+
+// benchRunAll regenerates the whole report once per iteration with the
+// given worker-pool size (0 = default: ANTHILL_WORKERS or GOMAXPROCS).
+func benchRunAll(b *testing.B, workers int) {
+	experiments.SetWorkers(workers)
+	defer experiments.SetWorkers(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		failed, err := experiments.RunAll(cfg(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed > 0 {
+			b.Fatalf("%d shape checks failed", failed)
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }

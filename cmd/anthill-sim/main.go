@@ -26,15 +26,24 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID to run, or 'all'")
-		full    = flag.Bool("full", false, "paper-scale workloads (slower)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		out     = flag.String("o", "", "write the report to this file instead of stdout")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		jsonOut = flag.String("json", "", "also write a machine-readable check summary to this file")
-		svgDir  = flag.String("svg", "", "write each figure's curves as an SVG chart into this directory")
+		exp      = flag.String("exp", "all", "experiment ID to run, or 'all'")
+		full     = flag.Bool("full", false, "paper-scale workloads (slower)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		out      = flag.String("o", "", "write the report to this file instead of stdout")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		jsonOut  = flag.String("json", "", "also write a machine-readable check summary to this file")
+		svgDir   = flag.String("svg", "", "write each figure's curves as an SVG chart into this directory")
+		parallel = flag.Bool("parallel", true, "run independent sweep points on all cores (output is byte-identical to serial)")
+		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, or the ANTHILL_WORKERS env var)")
 	)
 	flag.Parse()
+
+	switch {
+	case !*parallel:
+		experiments.SetWorkers(1)
+	case *workers > 0:
+		experiments.SetWorkers(*workers)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -77,8 +86,7 @@ func main() {
 	}
 	failed := 0
 	var summaries []jsonReport
-	for _, e := range toRun {
-		rep := e.Run(cfg)
+	for _, rep := range experiments.RunMany(cfg, toRun) {
 		fmt.Fprint(w, rep.Render())
 		js := jsonReport{ID: rep.ID, Title: rep.Title, PaperRef: rep.PaperRef, Passed: rep.Passed()}
 		for _, c := range rep.Checks {

@@ -1,0 +1,210 @@
+// Command benchsweep measures the experiment-sweep harness end to end and
+// writes a machine-readable summary (BENCH_sweep.json by default): wall
+// time of the full report regeneration serially (1 worker) and on the
+// worker pool, sweep points per second for both, the resulting speedup,
+// and the simulation kernel's allocation profile on its hot-path
+// workloads.
+//
+// Usage:
+//
+//	benchsweep [-o BENCH_sweep.json] [-seed N] [-full] [-workers N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+type runResult struct {
+	Mode         string  `json:"mode"`
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Points       int64   `json:"points"`
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+type allocResult struct {
+	Workload    string  `json:"workload"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type summary struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	FullScale  bool          `json:"full_scale"`
+	Runs       []runResult   `json:"runs"`
+	Speedup    float64       `json:"parallel_speedup"`
+	Identical  bool          `json:"outputs_identical"`
+	SimAllocs  []allocResult `json:"sim_kernel_allocs"`
+}
+
+// timedRunAll regenerates the full report with the given pool size and
+// returns the wall time, the sweep-point count and the rendered bytes.
+func timedRunAll(cfg experiments.Config, workers int) (runResult, string) {
+	experiments.SetWorkers(workers)
+	defer experiments.SetWorkers(0)
+	experiments.ResetPointCount()
+	var buf writerCounter
+	start := time.Now()
+	failed, err := experiments.RunAll(cfg, &buf)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchsweep: %d shape checks failed\n", failed)
+		os.Exit(1)
+	}
+	mode := "parallel"
+	if workers == 1 {
+		mode = "serial"
+	}
+	points := experiments.PointCount()
+	return runResult{
+		Mode: mode, Workers: workers, WallSeconds: wall,
+		Points: points, PointsPerSec: float64(points) / wall,
+	}, buf.String()
+}
+
+// writerCounter accumulates the report so the serial and parallel renders
+// can be compared byte for byte.
+type writerCounter struct{ b []byte }
+
+func (w *writerCounter) Write(p []byte) (int, error) { w.b = append(w.b, p...); return len(p), nil }
+func (w *writerCounter) String() string              { return string(w.b) }
+
+// allocsPerRun measures the average mallocs of fn over reps runs, after one
+// warm-up call (mirrors testing.AllocsPerRun without importing testing into
+// a main binary).
+func allocsPerRun(reps int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(reps)
+}
+
+// Kernel hot-path workloads, matching the benchmarks in internal/sim.
+
+func eventLoop() {
+	k := sim.NewKernel(1)
+	for p := 0; p < 4; p++ {
+		k.Spawn("worker", func(e *sim.Env) {
+			for s := 0; s < 1000; s++ {
+				e.Sleep(sim.Millisecond)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func spawnChurn() {
+	k := sim.NewKernel(1)
+	k.Spawn("driver", func(e *sim.Env) {
+		for i := 0; i < 1000; i++ {
+			e.Spawn("short", func(e *sim.Env) { e.Sleep(sim.Microsecond) })
+			e.Sleep(sim.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func zeroSleep() {
+	k := sim.NewKernel(1)
+	k.Spawn("spinner", func(e *sim.Env) {
+		for i := 0; i < 10000; i++ {
+			e.Sleep(0)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_sweep.json", "output JSON path ('-' for stdout)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		full    = flag.Bool("full", false, "paper-scale workloads (much slower)")
+		workers = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS or ANTHILL_WORKERS)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Full: *full, Seed: *seed}
+	parWorkers := *workers
+	if parWorkers <= 0 {
+		experiments.SetWorkers(0) // resolve the default
+		parWorkers = experiments.Workers()
+	}
+
+	fmt.Fprintf(os.Stderr, "benchsweep: serial run (1 worker)...\n")
+	serial, serialOut := timedRunAll(cfg, 1)
+	fmt.Fprintf(os.Stderr, "benchsweep: serial %.1fs, %d points (%.1f points/s)\n",
+		serial.WallSeconds, serial.Points, serial.PointsPerSec)
+	fmt.Fprintf(os.Stderr, "benchsweep: parallel run (%d workers)...\n", parWorkers)
+	par, parOut := timedRunAll(cfg, parWorkers)
+	fmt.Fprintf(os.Stderr, "benchsweep: parallel %.1fs, %d points (%.1f points/s)\n",
+		par.WallSeconds, par.Points, par.PointsPerSec)
+
+	s := summary{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		FullScale:  *full,
+		Runs:       []runResult{serial, par},
+		Speedup:    serial.WallSeconds / par.WallSeconds,
+		Identical:  serialOut == parOut,
+		SimAllocs: []allocResult{
+			{"event_loop_4procs_x_1000_sleeps", allocsPerRun(5, eventLoop)},
+			{"spawn_churn_1000_procs", allocsPerRun(5, spawnChurn)},
+			{"zero_sleep_10000_yields", allocsPerRun(5, zeroSleep)},
+		},
+	}
+	if !s.Identical {
+		fmt.Fprintln(os.Stderr, "benchsweep: WARNING: parallel output differs from serial")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	if !s.Identical {
+		os.Exit(1)
+	}
+}

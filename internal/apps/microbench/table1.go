@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/nbia"
 	"repro/internal/estimator"
 	"repro/internal/hw"
+	"repro/internal/parallel"
 )
 
 // Workload is one row of Table 1: an application whose profiled jobs feed
@@ -170,18 +171,19 @@ func EvaluateAll(seed int64) []Row {
 }
 
 // EvaluateAllWith is EvaluateAll with explicit methodology parameters (for
-// ablations over jobs and k).
+// ablations over jobs and k). Each workload profiles and cross-validates
+// from its own derived seed, so the rows evaluate in parallel on the sweep
+// worker pool with results identical to the serial loop.
 func EvaluateAllWith(jobs, folds, k int, seed int64) []Row {
-	rows := make([]Row, 0, len(Workloads))
-	for i, w := range Workloads {
+	return parallel.SweepMap(len(Workloads), func(i int) Row {
+		w := Workloads[i]
 		rep := Evaluate(w, jobs, folds, k, seed+int64(i)*1000)
-		rows = append(rows, Row{
+		return Row{
 			Name:          w.Name,
 			Description:   w.Description,
 			Source:        w.Source,
 			SpeedupErrPct: rep.SpeedupErrPct,
 			CPUTimeErrPct: rep.CPUTimeErrPct,
-		})
-	}
-	return rows
+		}
+	})
 }

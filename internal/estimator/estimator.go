@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"repro/internal/hw"
 )
@@ -91,23 +90,77 @@ type neighbor struct {
 	dist float64
 }
 
+// after reports whether a ranks strictly after b in the nearest-neighbor
+// order: by distance, then by insertion order. This total order makes the
+// bounded selection below return exactly the prefix a stable sort of all
+// candidates by distance would.
+func (a neighbor) after(b neighbor) bool {
+	return a.dist > b.dist || (a.dist == b.dist && a.idx > b.idx)
+}
+
 // nearest returns the k nearest sample indices (excluding any index in
 // skip), breaking distance ties by insertion order for determinism.
+//
+// It keeps a max-heap of the k best candidates seen so far (the heap top is
+// the current worst), so a query costs O(n log k) instead of the O(n log n)
+// of sorting every sample — the per-task kNN lookup is on the scheduler's
+// hot path.
 func (p *Profile) nearest(params []float64, cats []string, k int, skip func(int) bool) []int {
-	ns := make([]neighbor, 0, len(p.samples))
+	if k <= 0 {
+		return nil
+	}
+	best := make([]neighbor, 0, k)
 	for i, s := range p.samples {
 		if skip != nil && skip(i) {
 			continue
 		}
-		ns = append(ns, neighbor{i, p.Distance(params, cats, s)})
+		c := neighbor{i, p.Distance(params, cats, s)}
+		if len(best) < k {
+			best = append(best, c)
+			// Sift up: restore the max-heap (worst candidate on top).
+			j := len(best) - 1
+			for j > 0 {
+				parent := (j - 1) / 2
+				if !best[j].after(best[parent]) {
+					break
+				}
+				best[j], best[parent] = best[parent], best[j]
+				j = parent
+			}
+			continue
+		}
+		if !best[0].after(c) {
+			continue // c ranks at or after the current worst keeper
+		}
+		// Replace the worst keeper and sift down.
+		best[0] = c
+		j := 0
+		for {
+			l := 2*j + 1
+			if l >= len(best) {
+				break
+			}
+			max := l
+			if r := l + 1; r < len(best) && best[r].after(best[l]) {
+				max = r
+			}
+			if !best[max].after(best[j]) {
+				break
+			}
+			best[j], best[max] = best[max], best[j]
+			j = max
+		}
 	}
-	sort.SliceStable(ns, func(a, b int) bool { return ns[a].dist < ns[b].dist })
-	if k > len(ns) {
-		k = len(ns)
+	// k is small (the paper uses 2): order the survivors by the same total
+	// order with an insertion sort.
+	for i := 1; i < len(best); i++ {
+		for j := i; j > 0 && best[j-1].after(best[j]); j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
 	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = ns[i].idx
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.idx
 	}
 	return out
 }

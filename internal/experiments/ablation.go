@@ -76,10 +76,12 @@ func runAblation(cfg Config) *Report {
 		Header:  []string{"Variant", "Speedup", "vs defaults"},
 		Caption: "Each row flips one of the implementation decisions recorded in DESIGN.md.",
 	}
+	perVariant := SweepMap(len(variants), func(i int) float64 {
+		return ablationNBIA(cfg, variants[i].tun, variants[i].weights).Speedup
+	})
 	speedups := map[string]float64{}
-	for _, v := range variants {
-		res := ablationNBIA(cfg, v.tun, v.weights)
-		speedups[v.name] = res.Speedup
+	for i, v := range variants {
+		speedups[v.name] = perVariant[i]
 	}
 	base := speedups[variants[0].name]
 	for _, v := range variants {

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// renderMany runs the given experiments with the given worker-pool size and
+// returns the concatenated rendered reports. The pool size is restored to
+// the default afterwards.
+func renderMany(t *testing.T, cfg Config, exps []Experiment, workers int) string {
+	t.Helper()
+	SetWorkers(workers)
+	defer SetWorkers(0)
+	var b strings.Builder
+	for _, rep := range RunMany(cfg, exps) {
+		b.WriteString(rep.Render())
+	}
+	return b.String()
+}
+
+// quickSubset returns the experiments cheap enough to regenerate several
+// times per seed in this test binary.
+func quickSubset(t *testing.T) []Experiment {
+	t.Helper()
+	ids := []string{"table1", "fig7", "table2", "table3", "fig12", "models",
+		"pushrr", "gpusharing"}
+	var exps []Experiment
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+// TestSweepDeterminismQuick checks the core promise of the parallel runner:
+// for a representative subset of experiments and several seeds, the report
+// produced on a 4-worker pool is byte-identical to the serial (1-worker)
+// one. It runs even under -short so the race detector exercises the worker
+// pool on every CI pass.
+func TestSweepDeterminismQuick(t *testing.T) {
+	exps := quickSubset(t)
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := Config{Seed: seed}
+		serial := renderMany(t, cfg, exps, 1)
+		par := renderMany(t, cfg, exps, 4)
+		if serial != par {
+			t.Errorf("seed %d: parallel report differs from serial (%d vs %d bytes)",
+				seed, len(par), len(serial))
+		}
+	}
+}
+
+// TestRunAllDeterminism checks byte-identity for the full registry. Seed 1
+// always runs (outside -short); additional seeds are enabled with e.g.
+// ANTHILL_DETERMINISM_SEEDS=3, which scripts/check.sh sets for the
+// pre-merge verification pass.
+func TestRunAllDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry determinism check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-registry determinism check skipped under -race " +
+			"(TestSweepDeterminismQuick covers the pool under the detector)")
+	}
+	seeds := int64(1)
+	if s := os.Getenv("ANTHILL_DETERMINISM_SEEDS"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || n < 1 {
+			t.Fatalf("bad ANTHILL_DETERMINISM_SEEDS=%q", s)
+		}
+		seeds = n
+	}
+	exps := All()
+	for seed := int64(1); seed <= seeds; seed++ {
+		cfg := Config{Seed: seed}
+		serial := renderMany(t, cfg, exps, 1)
+		par := renderMany(t, cfg, exps, 4)
+		if serial != par {
+			t.Errorf("seed %d: parallel full report differs from serial (%d vs %d bytes)",
+				seed, len(par), len(serial))
+		}
+	}
+}

@@ -142,18 +142,31 @@ variance). Absolute numbers are not expected to match the authors' 2010
 testbed; each section lists the paper's qualitative claim and the shape
 checks our measurement must (and does) satisfy.
 
+## Parallel execution
+
+Every sweep point below is an independent simulation seeded purely by
+(seed, point index), so regeneration fans points across a bounded worker
+pool (anthill-sim's `+"`-parallel`"+`, on by default; pool size = GOMAXPROCS,
+overridable with `+"`-workers N`"+` or the `+"`ANTHILL_WORKERS`"+` env var). This
+document is byte-identical whatever the pool size — `+"`-parallel=false`"+`
+forces the serial reference path, and the determinism tests assert the
+identity on every run.
+
 `, scale)
 }
 
 // RunAll executes every experiment and writes a complete EXPERIMENTS.md
 // style document to w. It returns the number of failed checks.
+//
+// Experiments run on the sweep worker pool (see Sweep); the document is
+// assembled in paper order afterwards, so the output is byte-identical
+// whatever the pool size.
 func RunAll(cfg Config, w io.Writer) (int, error) {
 	if _, err := io.WriteString(w, Preamble(cfg)); err != nil {
 		return 0, err
 	}
 	failed := 0
-	for _, e := range All() {
-		rep := e.Run(cfg)
+	for _, rep := range RunMany(cfg, All()) {
 		if _, err := io.WriteString(w, rep.Render()); err != nil {
 			return failed, err
 		}

@@ -33,23 +33,25 @@ func runFig11(cfg Config) *Report {
 	}
 	fcfsBest := metrics.Series{Label: "DDFCFS best size", XLabel: "recalc rate %"}
 	wrrBest := metrics.Series{Label: "DDWRR best size"}
-	for _, rate := range rates {
-		for _, p := range []struct {
-			name string
-			mk   func(int) policy.StreamPolicy
-			out  *metrics.Series
-		}{
-			{"DDFCFS", policy.DDFCFS, &fcfsBest},
-			{"DDWRR", policy.DDWRR, &wrrBest},
-		} {
+	mks := []func(int) policy.StreamPolicy{policy.DDFCFS, policy.DDWRR}
+	// Point grid: (rate, policy, size) — the full exhaustive search is one
+	// flat sweep; the per-(rate, policy) argmin reduction happens below.
+	makespans := SweepMap(len(rates)*len(mks)*len(sizes), func(i int) float64 {
+		rate := rates[i/(len(mks)*len(sizes))]
+		mk := mks[i/len(sizes)%len(mks)]
+		size := sizes[i%len(sizes)]
+		res := nbiaCase{hetero: true, nodes: 2, tiles: tiles, rate: rate,
+			pol: mk(size), useGPU: true, cpuWorkers: -1, seed: cfg.Seed}.run()
+		return float64(res.Makespan)
+	})
+	for ri, rate := range rates {
+		for pi, out := range []*metrics.Series{&fcfsBest, &wrrBest} {
 			var xs, ys []float64
-			for _, size := range sizes {
-				res := nbiaCase{hetero: true, nodes: 2, tiles: tiles, rate: rate,
-					pol: p.mk(size), useGPU: true, cpuWorkers: -1, seed: cfg.Seed}.run()
+			for si, size := range sizes {
 				xs = append(xs, float64(size))
-				ys = append(ys, float64(res.Makespan))
+				ys = append(ys, makespans[(ri*len(mks)+pi)*len(sizes)+si])
 			}
-			p.out.Add(rate*100, metrics.ArgBest(xs, ys, true))
+			out.Add(rate*100, metrics.ArgBest(xs, ys, true))
 		}
 	}
 	body := metrics.RenderSeries(

@@ -61,13 +61,19 @@ func runFig13(cfg Config) *Report {
 	}
 	var series []metrics.Series
 	speedups := map[string]map[int]float64{}
-	for _, sc := range scalingPolicies() {
+	pols := scalingPolicies()
+	// Point grid: (policy, node count), node counts contiguous per policy.
+	points := SweepMap(len(pols)*len(nodes), func(i int) float64 {
+		sc, n := pols[i/len(nodes)], nodes[i%len(nodes)]
+		c := nbiaCase{nodes: n, tiles: tiles, rate: 0.08,
+			useGPU: true, cpuWorkers: sc.cpus, seed: cfg.Seed}
+		return runScalingPoint(cfg, sc, c)
+	})
+	for pi, sc := range pols {
 		s := metrics.Series{Label: sc.name, XLabel: "nodes"}
 		speedups[sc.name] = map[int]float64{}
-		for _, n := range nodes {
-			c := nbiaCase{nodes: n, tiles: tiles, rate: 0.08,
-				useGPU: true, cpuWorkers: sc.cpus, seed: cfg.Seed}
-			sp := runScalingPoint(cfg, sc, c)
+		for ni, n := range nodes {
+			sp := points[pi*len(nodes)+ni]
 			s.Add(float64(n), sp)
 			speedups[sc.name][n] = sp
 		}
@@ -111,17 +117,23 @@ func runFig14(cfg Config) *Report {
 	nodes := []int{2, 4, 8, 14}
 	var series []metrics.Series
 	speedups := map[string]map[int]float64{}
-	for _, sc := range scalingPolicies() {
+	pols := scalingPolicies()
+	// Point grid: (policy, node count), node counts contiguous per policy.
+	points := SweepMap(len(pols)*len(nodes), func(i int) float64 {
+		sc, n := pols[i/len(nodes)], nodes[i%len(nodes)]
+		c := nbiaCase{hetero: true, nodes: n, tiles: tiles, rate: 0.08,
+			useGPU: true, cpuWorkers: sc.cpus, seed: cfg.Seed}
+		if sc.cpus == 0 {
+			// GPU-only runs use only the GPU-equipped half.
+			c.workers = gpuNodes(n)
+		}
+		return runScalingPoint(cfg, sc, c)
+	})
+	for pi, sc := range pols {
 		s := metrics.Series{Label: sc.name, XLabel: "nodes"}
 		speedups[sc.name] = map[int]float64{}
-		for _, n := range nodes {
-			c := nbiaCase{hetero: true, nodes: n, tiles: tiles, rate: 0.08,
-				useGPU: true, cpuWorkers: sc.cpus, seed: cfg.Seed}
-			if sc.cpus == 0 {
-				// GPU-only runs use only the GPU-equipped half.
-				c.workers = gpuNodes(n)
-			}
-			sp := runScalingPoint(cfg, sc, c)
+		for ni, n := range nodes {
+			sp := points[pi*len(nodes)+ni]
 			s.Add(float64(n), sp)
 			speedups[sc.name][n] = sp
 		}

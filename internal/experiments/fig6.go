@@ -20,20 +20,18 @@ func runFig6(cfg Config) *Report {
 	tiles := baseTiles(cfg)
 	syncS := metrics.Series{Label: "Synchronous copy", XLabel: "tile edge (px)"}
 	asyncS := metrics.Series{Label: "Asynchronous copy"}
-	for _, edge := range sizes {
-		for _, sync := range []bool{true, false} {
-			c := nbiaCase{
-				nodes: 1, tiles: tiles, levels: []int{edge}, rate: 0,
-				pol: gpuOnlyPol(), useGPU: true, cpuWorkers: 0,
-				sync: sync, seed: cfg.Seed,
-			}
-			res := c.run()
-			if sync {
-				syncS.Add(float64(edge), res.Speedup)
-			} else {
-				asyncS.Add(float64(edge), res.Speedup)
-			}
+	// Point grid: (edge, sync) pairs, sync first within each edge.
+	speedups := SweepMap(2*len(sizes), func(i int) float64 {
+		c := nbiaCase{
+			nodes: 1, tiles: tiles, levels: []int{sizes[i/2]}, rate: 0,
+			pol: gpuOnlyPol(), useGPU: true, cpuWorkers: 0,
+			sync: i%2 == 0, seed: cfg.Seed,
 		}
+		return c.run().Speedup
+	})
+	for si, edge := range sizes {
+		syncS.Add(float64(edge), speedups[2*si])
+		asyncS.Add(float64(edge), speedups[2*si+1])
 	}
 	body := metrics.RenderSeries(
 		fmt.Sprintf("GPU speedup over one CPU core (%d single-resolution tiles)", tiles),

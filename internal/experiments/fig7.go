@@ -35,11 +35,19 @@ func runFig7(cfg Config) *Report {
 	vec := viVector(cfg)
 	var series []metrics.Series
 	checks := []Check{}
-	for _, chunk := range viChunks {
+	// Point grid: (chunk, stream count), stream counts contiguous per chunk.
+	elapsed := SweepMap(len(viChunks)*len(viCounts), func(i int) float64 {
+		r := vi.Run(vi.Config{
+			VectorInts: vec,
+			ChunkInts:  viChunks[i/len(viCounts)],
+			Streams:    viCounts[i%len(viCounts)],
+		})
+		return float64(r.Elapsed)
+	})
+	for ci, chunk := range viChunks {
 		s := metrics.Series{Label: fmt.Sprintf("chunk %dK", chunk/1000), XLabel: "concurrent streams"}
-		for _, n := range viCounts {
-			r := vi.Run(vi.Config{VectorInts: vec, ChunkInts: chunk, Streams: n})
-			s.Add(float64(n), float64(r.Elapsed))
+		for ni, n := range viCounts {
+			s.Add(float64(n), elapsed[ci*len(viCounts)+ni])
 		}
 		series = append(series, s)
 		bestX := metrics.ArgBest(s.X, s.Y, true)
@@ -78,12 +86,22 @@ func runTable2(cfg Config) *Report {
 			"statically-tuned stream count (paper: within one standard deviation, ~1%).",
 	}
 	checks := []Check{}
-	for _, chunk := range viChunks {
+	type t2point struct {
+		bestN      int
+		bestT, dyn float64
+	}
+	points := SweepMap(len(viChunks), func(i int) t2point {
+		chunk := viChunks[i]
 		bestN, bestT := vi.BestStatic(vi.Config{VectorInts: vec, ChunkInts: chunk}, viCounts)
 		dyn := vi.Run(vi.Config{VectorInts: vec, ChunkInts: chunk})
-		ratio := float64(dyn.Elapsed) / float64(bestT)
+		return t2point{bestN: bestN, bestT: float64(bestT), dyn: float64(dyn.Elapsed)}
+	})
+	for ci, chunk := range viChunks {
+		bestN, bestT := points[ci].bestN, points[ci].bestT
+		dyn := points[ci].dyn
+		ratio := dyn / bestT
 		tb.AddRow(fmt.Sprintf("%dK", chunk/1000), fmt.Sprintf("%d", bestN),
-			fmt.Sprintf("%.2f", float64(bestT)), fmt.Sprintf("%.2f", float64(dyn.Elapsed)),
+			fmt.Sprintf("%.2f", bestT), fmt.Sprintf("%.2f", dyn),
 			fmt.Sprintf("%.3f", ratio))
 		checks = append(checks, check(
 			fmt.Sprintf("chunk %dK: dynamic within 5%% of best static", chunk/1000),

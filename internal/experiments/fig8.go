@@ -30,14 +30,25 @@ func runFig8(cfg Config) *Report {
 	gpuOnly := metrics.Series{Label: "GPU-only", XLabel: "recalc rate %"}
 	ddfcfs := metrics.Series{Label: "GPU+CPU DDFCFS"}
 	ddwrr := metrics.Series{Label: "GPU+CPU DDWRR"}
-	for _, rate := range recalcRates {
+	// Point grid: (rate, policy) with the three policies per rate.
+	speedups := SweepMap(3*len(recalcRates), func(i int) float64 {
+		c := nbiaCase{nodes: 1, tiles: tiles, rate: recalcRates[i/3],
+			useGPU: true, cpuWorkers: 1, seed: cfg.Seed}
+		switch i % 3 {
+		case 0:
+			c.pol, c.cpuWorkers = gpuOnlyPol(), 0
+		case 1:
+			c.pol = policy.DDFCFS(ddfcfsReq)
+		default:
+			c.pol = policy.DDWRR(ddwrrReq)
+		}
+		return c.run().Speedup
+	})
+	for ri, rate := range recalcRates {
 		x := rate * 100
-		gpuOnly.Add(x, nbiaCase{nodes: 1, tiles: tiles, rate: rate,
-			pol: gpuOnlyPol(), useGPU: true, cpuWorkers: 0, seed: cfg.Seed}.run().Speedup)
-		ddfcfs.Add(x, nbiaCase{nodes: 1, tiles: tiles, rate: rate,
-			pol: policy.DDFCFS(ddfcfsReq), useGPU: true, cpuWorkers: 1, seed: cfg.Seed}.run().Speedup)
-		ddwrr.Add(x, nbiaCase{nodes: 1, tiles: tiles, rate: rate,
-			pol: policy.DDWRR(ddwrrReq), useGPU: true, cpuWorkers: 1, seed: cfg.Seed}.run().Speedup)
+		gpuOnly.Add(x, speedups[3*ri])
+		ddfcfs.Add(x, speedups[3*ri+1])
+		ddwrr.Add(x, speedups[3*ri+2])
 	}
 	body := metrics.RenderSeries(
 		fmt.Sprintf("NBIA speedup over one CPU core, 1 node, %d tiles", tiles),
@@ -84,17 +95,20 @@ func runTable4(cfg Config) *Report {
 	}
 	paper := map[string][2]float64{"DDFCFS": {1.52, 14.70}, "DDWRR": {84.63, 0.16}}
 	shares := map[string][2]float64{}
-	for _, p := range []struct {
+	policies := []struct {
 		name string
 		pol  policy.StreamPolicy
-	}{{"DDFCFS", policy.DDFCFS(ddfcfsReq)}, {"DDWRR", policy.DDWRR(ddwrrReq)}} {
+	}{{"DDFCFS", policy.DDFCFS(ddfcfsReq)}, {"DDWRR", policy.DDWRR(ddwrrReq)}}
+	perPolicy := SweepMap(len(policies), func(i int) [2]float64 {
 		res := nbiaCase{nodes: 1, tiles: tiles, rate: 0.16,
-			pol: p.pol, useGPU: true, cpuWorkers: 1, records: true, seed: cfg.Seed}.run()
+			pol: policies[i].pol, useGPU: true, cpuWorkers: 1, records: true, seed: cfg.Seed}.run()
 		prof := metrics.ProfileBy(res.Records, func(r core.ProcRecord) int {
 			return r.Payload.(nbia.TileRef).Level
 		})
-		low := prof.Percent(hw.CPU, 0)
-		high := prof.Percent(hw.CPU, 1)
+		return [2]float64{prof.Percent(hw.CPU, 0), prof.Percent(hw.CPU, 1)}
+	})
+	for i, p := range policies {
+		low, high := perPolicy[i][0], perPolicy[i][1]
 		shares[p.name] = [2]float64{low, high}
 		pp := paper[p.name]
 		tb.AddRow(p.name,

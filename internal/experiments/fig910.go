@@ -36,14 +36,25 @@ func runFig9(cfg Config) *Report {
 	wrrSync := metrics.Series{Label: "DDWRR (sync copy)", XLabel: "recalc rate %"}
 	wrrAsync := metrics.Series{Label: "DDWRR (async copy)"}
 	odds := metrics.Series{Label: "ODDS (async copy)"}
-	for _, rate := range recalcRates {
+	// Point grid: (rate, variant) with the three variants per rate.
+	speedups := SweepMap(3*len(recalcRates), func(i int) float64 {
+		c := nbiaCase{nodes: 1, tiles: tiles, rate: recalcRates[i/3],
+			useGPU: true, cpuWorkers: 1, seed: cfg.Seed}
+		switch i % 3 {
+		case 0:
+			c.pol, c.sync = policy.DDWRR(ddwrrReq), true
+		case 1:
+			c.pol = policy.DDWRR(ddwrrReq)
+		default:
+			c.pol = policy.ODDS()
+		}
+		return c.run().Speedup
+	})
+	for ri, rate := range recalcRates {
 		x := rate * 100
-		wrrSync.Add(x, nbiaCase{nodes: 1, tiles: tiles, rate: rate, sync: true,
-			pol: policy.DDWRR(ddwrrReq), useGPU: true, cpuWorkers: 1, seed: cfg.Seed}.run().Speedup)
-		wrrAsync.Add(x, nbiaCase{nodes: 1, tiles: tiles, rate: rate,
-			pol: policy.DDWRR(ddwrrReq), useGPU: true, cpuWorkers: 1, seed: cfg.Seed}.run().Speedup)
-		odds.Add(x, nbiaCase{nodes: 1, tiles: tiles, rate: rate,
-			pol: policy.ODDS(), useGPU: true, cpuWorkers: 1, seed: cfg.Seed}.run().Speedup)
+		wrrSync.Add(x, speedups[3*ri])
+		wrrAsync.Add(x, speedups[3*ri+1])
+		odds.Add(x, speedups[3*ri+2])
 	}
 	body := metrics.RenderSeries(
 		fmt.Sprintf("NBIA speedup, 1 CPU+GPU node, %d tiles", tiles),
@@ -81,15 +92,26 @@ func runFig10(cfg Config) *Report {
 	// As in the paper, the static policies are shown at their best
 	// streamRequestsSize for each point (exhaustive search); ODDS adapts.
 	sizes := searchSizes(cfg)
-	for _, rate := range recalcRates {
-		x := rate * 100
-		base := nbiaCase{hetero: true, nodes: 2, tiles: tiles, rate: rate,
+	// Point grid: (rate, policy); each static-policy point runs its own
+	// request-size search.
+	speedups := SweepMap(3*len(recalcRates), func(i int) float64 {
+		base := nbiaCase{hetero: true, nodes: 2, tiles: tiles, rate: recalcRates[i/3],
 			useGPU: true, cpuWorkers: -1, seed: cfg.Seed}
-		fcfs.Add(x, runBestStatic(base, policy.DDFCFS, sizes).Speedup)
-		wrr.Add(x, runBestStatic(base, policy.DDWRR, sizes).Speedup)
-		oc := base
-		oc.pol = policy.ODDS()
-		odds.Add(x, oc.run().Speedup)
+		switch i % 3 {
+		case 0:
+			return runBestStatic(base, policy.DDFCFS, sizes).Speedup
+		case 1:
+			return runBestStatic(base, policy.DDWRR, sizes).Speedup
+		default:
+			base.pol = policy.ODDS()
+			return base.run().Speedup
+		}
+	})
+	for ri, rate := range recalcRates {
+		x := rate * 100
+		fcfs.Add(x, speedups[3*ri])
+		wrr.Add(x, speedups[3*ri+1])
+		odds.Add(x, speedups[3*ri+2])
 	}
 	body := metrics.RenderSeries(
 		fmt.Sprintf("NBIA speedup, CPU+GPU node + dual-core CPU-only node, %d tiles", tiles),
@@ -141,26 +163,33 @@ func runTable6(cfg Config) *Report {
 		Header: []string{"Config", "Policy", "low-res % (paper)", "low-res % (ours)", "high-res % (paper)", "high-res % (ours)"},
 	}
 	got := map[string][2]float64{}
-	for _, env := range []struct {
+	envs := []struct {
 		name   string
 		hetero bool
 		nodes  int
-	}{{"homo", false, 1}, {"hetero", true, 2}} {
-		for _, p := range []struct {
-			name string
-			pol  policy.StreamPolicy
-		}{
-			{"DDFCFS", policy.DDFCFS(ddfcfsReq)},
-			{"DDWRR", policy.DDWRR(ddwrrReq)},
-			{"ODDS", policy.ODDS()},
-		} {
-			res := nbiaCase{hetero: env.hetero, nodes: env.nodes, tiles: tiles, rate: 0.08,
-				pol: p.pol, useGPU: true, cpuWorkers: -1, records: true, seed: cfg.Seed}.run()
-			prof := metrics.ProfileBy(res.Records, func(r core.ProcRecord) int {
-				return r.Payload.(nbia.TileRef).Level
-			})
+	}{{"homo", false, 1}, {"hetero", true, 2}}
+	pols := []struct {
+		name string
+		pol  func() policy.StreamPolicy
+	}{
+		{"DDFCFS", func() policy.StreamPolicy { return policy.DDFCFS(ddfcfsReq) }},
+		{"DDWRR", func() policy.StreamPolicy { return policy.DDWRR(ddwrrReq) }},
+		{"ODDS", func() policy.StreamPolicy { return policy.ODDS() }},
+	}
+	// Point grid: (environment, policy), policies contiguous per environment.
+	shares := SweepMap(len(envs)*len(pols), func(i int) [2]float64 {
+		env, p := envs[i/len(pols)], pols[i%len(pols)]
+		res := nbiaCase{hetero: env.hetero, nodes: env.nodes, tiles: tiles, rate: 0.08,
+			pol: p.pol(), useGPU: true, cpuWorkers: -1, records: true, seed: cfg.Seed}.run()
+		prof := metrics.ProfileBy(res.Records, func(r core.ProcRecord) int {
+			return r.Payload.(nbia.TileRef).Level
+		})
+		return [2]float64{prof.Percent(hw.GPU, 0), prof.Percent(hw.GPU, 1)}
+	})
+	for ei, env := range envs {
+		for pi, p := range pols {
 			key := env.name + "/" + p.name
-			low, high := prof.Percent(hw.GPU, 0), prof.Percent(hw.GPU, 1)
+			low, high := shares[ei*len(pols)+pi][0], shares[ei*len(pols)+pi][1]
 			got[key] = [2]float64{low, high}
 			pp := paper[key]
 			tb.AddRow(env.name, p.name,

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active. The
+// full-registry determinism test is skipped under -race (instrumentation
+// makes the double full-report run exceed test timeouts); the quick-subset
+// test still exercises the worker pool under the detector on every pass.
+const raceEnabled = true

@@ -34,16 +34,20 @@ func runTable3(cfg Config) *Report {
 		Caption: "Analytic = exact sum of per-tile CPU costs; simulated = full runtime with " +
 			"one CPU worker (the difference is runtime overhead, which must be negligible).",
 	}
-	var analytic, simulated []float64
-	for _, rate := range recalcRates {
+	type t3point struct{ analytic, simulated float64 }
+	points := SweepMap(len(recalcRates), func(i int) t3point {
+		rate := recalcRates[i]
 		a := nbia.CPUOnlyTime(tiles, nbia.DefaultLevels, rate)
 		c := nbiaCase{
 			nodes: 1, tiles: tiles, rate: rate,
 			pol: policy.DDFCFS(4), useGPU: false, cpuWorkers: 1, seed: cfg.Seed,
 		}
-		res := c.run()
-		analytic = append(analytic, float64(a))
-		simulated = append(simulated, float64(res.Makespan))
+		return t3point{analytic: float64(a), simulated: float64(c.run().Makespan)}
+	})
+	var analytic, simulated []float64
+	for _, p := range points {
+		analytic = append(analytic, p.analytic)
+		simulated = append(simulated, p.simulated)
 	}
 	for i, rate := range recalcRates {
 		tb.AddRow(fmt.Sprintf("%.0f", rate*100),

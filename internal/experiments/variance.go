@@ -28,27 +28,28 @@ func init() {
 func runVariance(cfg Config) *Report {
 	const runs = 5
 	tiles := baseTiles(cfg)
-	measure := func(pol policy.StreamPolicy) stats.Summary {
-		var xs []float64
-		for r := 0; r < runs; r++ {
-			k := sim.NewKernel(cfg.Seed + int64(r)*101)
-			cl := nbia.HeteroCluster(k, 2)
-			res, err := nbia.Run(nbia.Config{
-				Cluster: cl, Tiles: tiles, RecalcRate: 0.08,
-				Policy: pol, UseGPU: true, CPUWorkers: -1,
-				AsyncCopy: true, Weights: nbia.WeightEstimator,
-				Seed:     cfg.Seed + int64(r)*977,
-				IDOffset: uint64(r) * 1_000_003,
-			})
-			if err != nil {
-				panic(err)
-			}
-			xs = append(xs, res.Speedup)
+	pols := []policy.StreamPolicy{policy.ODDS(), policy.DDWRR(ddwrrReq)}
+	// Point grid: (policy, repeat); each repeat derives its own kernel seed,
+	// run seed and slide region from its repeat index, exactly as the
+	// serial loop did.
+	speedups := SweepMap(len(pols)*runs, func(i int) float64 {
+		pol, r := pols[i/runs], i%runs
+		k := sim.NewKernel(cfg.Seed + int64(r)*101)
+		cl := nbia.HeteroCluster(k, 2)
+		res, err := nbia.Run(nbia.Config{
+			Cluster: cl, Tiles: tiles, RecalcRate: 0.08,
+			Policy: pol, UseGPU: true, CPUWorkers: -1,
+			AsyncCopy: true, Weights: nbia.WeightEstimator,
+			Seed:     cfg.Seed + int64(r)*977,
+			IDOffset: uint64(r) * 1_000_003,
+		})
+		if err != nil {
+			panic(err)
 		}
-		return stats.Summarize(xs)
-	}
-	odds := measure(policy.ODDS())
-	ddwrr := measure(policy.DDWRR(ddwrrReq))
+		return res.Speedup
+	})
+	odds := stats.Summarize(speedups[:runs])
+	ddwrr := stats.Summarize(speedups[runs:])
 
 	tb := metrics.Table{
 		Title:  fmt.Sprintf("Speedup across %d seeds, heterogeneous base case, %d tiles, 8%% recalc", runs, tiles),

@@ -1,0 +1,129 @@
+// Package parallel provides the bounded worker pool behind every
+// experiment sweep. A sweep point must derive everything it needs —
+// including randomness — from its point index alone and write results only
+// to index-addressed storage; under those rules a parallel sweep's results
+// are identical to the serial loop's, whatever the pool size or the OS
+// thread interleaving.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkersEnv overrides the default worker count when set to a positive
+// integer.
+const WorkersEnv = "ANTHILL_WORKERS"
+
+var (
+	workerCount atomic.Int64
+	pointsRun   atomic.Int64
+)
+
+func init() {
+	workerCount.Store(int64(defaultWorkers()))
+}
+
+// defaultWorkers is GOMAXPROCS, overridable via ANTHILL_WORKERS.
+func defaultWorkers() int {
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the current sweep worker-pool size.
+func Workers() int { return int(workerCount.Load()) }
+
+// SetWorkers sets the sweep worker-pool size; n <= 0 restores the default
+// (ANTHILL_WORKERS or GOMAXPROCS). A pool of 1 runs every sweep inline,
+// which is the serial execution path.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = defaultWorkers()
+	}
+	workerCount.Store(int64(n))
+}
+
+// PointCount returns the number of sweep points executed since process
+// start or the last ResetPointCount, for throughput accounting.
+func PointCount() int64 { return pointsRun.Load() }
+
+// ResetPointCount zeroes the sweep-point counter.
+func ResetPointCount() { pointsRun.Store(0) }
+
+// PointSeed derives a deterministic per-point seed from a sweep's base
+// seed: a SplitMix64 step over the (seed, point) pair, so adjacent pairs
+// yield uncorrelated streams while the same pair always yields the same
+// seed — which is what keeps parallel sweeps bit-reproducible.
+func PointSeed(base int64, point int) int64 {
+	z := uint64(base)*0x9e3779b97f4a7c15 + uint64(point+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Sweep runs fn(i) for every point i in [0, n) on a worker pool of
+// min(Workers(), n) goroutines. Workers pull the next index from a shared
+// counter, so an expensive point does not stall the distribution of the
+// cheap ones behind it.
+//
+// A panic inside a point is re-raised on the caller's goroutine after the
+// remaining workers drain, preserving the serial path's failure behavior.
+func Sweep(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+			pointsRun.Add(1)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+				pointsRun.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// SweepMap runs fn over every point and returns the results in point order.
+func SweepMap[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Sweep(n, func(i int) { out[i] = fn(i) })
+	return out
+}

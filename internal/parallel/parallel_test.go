@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn with the pool temporarily set to n workers.
+func withWorkers(n int, fn func()) {
+	old := Workers()
+	SetWorkers(n)
+	defer SetWorkers(old)
+	fn()
+}
+
+func TestSweepCoversEveryPointOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		withWorkers(w, func() {
+			const n = 100
+			var hits [n]atomic.Int64
+			Sweep(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Errorf("workers=%d: point %d ran %d times", w, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestSweepMapOrdersResultsByIndex(t *testing.T) {
+	withWorkers(4, func() {
+		got := SweepMap(50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+			}
+		}
+	})
+}
+
+func TestSweepPropagatesPanic(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(w, func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", w, r)
+				}
+			}()
+			Sweep(10, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		})
+	}
+}
+
+func TestSweepEmptyAndNegative(t *testing.T) {
+	Sweep(0, func(int) { t.Error("fn called for n=0") })
+	Sweep(-5, func(int) { t.Error("fn called for n<0") })
+	if got := SweepMap(0, func(i int) int { return i }); len(got) != 0 {
+		t.Errorf("SweepMap(0) returned %v", got)
+	}
+}
+
+func TestSetWorkersClampsToDefault(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(0), want >= 1", got)
+	}
+}
+
+func TestPointSeedDeterministicAndDistinct(t *testing.T) {
+	if PointSeed(1, 0) != PointSeed(1, 0) {
+		t.Fatal("PointSeed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for p := 0; p < 64; p++ {
+			s := PointSeed(base, p)
+			if seen[s] {
+				t.Fatalf("PointSeed collision at base=%d point=%d", base, p)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestPointCountAccumulates(t *testing.T) {
+	ResetPointCount()
+	withWorkers(4, func() { Sweep(25, func(int) {}) })
+	if got := PointCount(); got != 25 {
+		t.Fatalf("PointCount() = %d, want 25", got)
+	}
+	ResetPointCount()
+	if got := PointCount(); got != 0 {
+		t.Fatalf("PointCount() = %d after reset, want 0", got)
+	}
+}
+
+func TestSweepMapMatchesSerialReference(t *testing.T) {
+	fn := func(i int) int64 { return PointSeed(42, i) }
+	want := make([]int64, 200)
+	for i := range want {
+		want[i] = fn(i)
+	}
+	withWorkers(8, func() {
+		if got := SweepMap(200, fn); !reflect.DeepEqual(got, want) {
+			t.Fatal("parallel SweepMap differs from serial reference")
+		}
+	})
+}

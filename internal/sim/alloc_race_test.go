@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; allocation
+// regression thresholds are skipped under -race because instrumentation
+// adds allocations of its own.
+const raceEnabled = true

@@ -1,0 +1,115 @@
+package sim
+
+// Benchmarks and allocation-regression gates for the kernel hot path. The
+// event loop runs millions of times per experiment sweep, so the typed
+// event heap, the pooled process records and the zero-duration Sleep fast
+// path each get a benchmark plus a hard allocs-per-workload ceiling that
+// fails the test if interface boxing or per-spawn allocation creeps back in.
+
+import "testing"
+
+// eventLoopWorkload runs procs processes that each sleep `sleeps` times,
+// exercising the heap push/pop and hand-off machinery.
+func eventLoopWorkload(procs, sleeps int) {
+	k := NewKernel(1)
+	for p := 0; p < procs; p++ {
+		k.Spawn("worker", func(e *Env) {
+			for s := 0; s < sleeps; s++ {
+				e.Sleep(Millisecond)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// spawnChurnWorkload spawns n short-lived processes strictly in sequence,
+// the pattern message- and transfer-handlers follow; with record pooling
+// only the first allocates.
+func spawnChurnWorkload(n int) {
+	k := NewKernel(1)
+	k.Spawn("driver", func(e *Env) {
+		for i := 0; i < n; i++ {
+			e.Spawn("short", func(e *Env) { e.Sleep(Microsecond) })
+			e.Sleep(Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// zeroSleepWorkload is a single process yielding n times with nothing else
+// scheduled, so every Sleep(0) takes the no-handoff fast path.
+func zeroSleepWorkload(n int) {
+	k := NewKernel(1)
+	k.Spawn("spinner", func(e *Env) {
+		for i := 0; i < n; i++ {
+			e.Sleep(0)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eventLoopWorkload(4, 1000)
+	}
+}
+
+func BenchmarkSpawnChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spawnChurnWorkload(1000)
+	}
+}
+
+func BenchmarkZeroSleep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		zeroSleepWorkload(10000)
+	}
+}
+
+// allocCeiling asserts the workload stays under a fixed allocation budget.
+func allocCeiling(t *testing.T, name string, limit float64, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation thresholds are not meaningful under -race")
+	}
+	if got := testing.AllocsPerRun(10, fn); got > limit {
+		t.Errorf("%s: %.0f allocs per run, want <= %.0f", name, got, limit)
+	}
+}
+
+// TestEventLoopAllocs pins the cost of 4000 scheduled events. The budget
+// covers kernel setup (records, channels, heap growth) only: the
+// container/heap implementation this replaced boxed one interface value per
+// push, i.e. >= 4000 allocations in this workload.
+func TestEventLoopAllocs(t *testing.T) {
+	allocCeiling(t, "event loop (4 procs x 1000 sleeps)", 200, func() {
+		eventLoopWorkload(4, 1000)
+	})
+}
+
+// TestSpawnPoolingAllocs pins the cost of 1000 sequential short-lived
+// spawns. Without record pooling each spawn allocates a record, a resume
+// channel and a goroutine stack (>= 3000 allocations); with pooling the
+// whole run reuses one record.
+func TestSpawnPoolingAllocs(t *testing.T) {
+	allocCeiling(t, "spawn churn (1000 short-lived procs)", 120, func() {
+		spawnChurnWorkload(1000)
+	})
+}
+
+// TestZeroSleepAllocs pins the fast path: 10000 yields with an empty event
+// queue must not touch the heap at all.
+func TestZeroSleepAllocs(t *testing.T) {
+	allocCeiling(t, "zero-duration sleep fast path (10000 yields)", 60, func() {
+		zeroSleepWorkload(10000)
+	})
+}

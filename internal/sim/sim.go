@@ -11,10 +11,16 @@
 // Resource, Signal and Cond. The kernel runs until no scheduled events
 // remain (or an explicit horizon is reached); processes still blocked at
 // that point are killed cleanly so goroutines are not leaked.
+//
+// The kernel's event loop is the hot path of every experiment sweep, so it
+// avoids allocation: the event queue is a concrete typed binary heap (no
+// container/heap interface boxing), completed process records and their
+// goroutines are pooled for reuse by later Spawns, and a zero-duration
+// Sleep returns immediately when no other event is pending at the current
+// instant instead of paying two goroutine hand-offs.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -45,16 +51,22 @@ const (
 	stateRunning
 	stateParked
 	stateDone
+	// statePooled marks a finished process whose record and goroutine are
+	// parked in the kernel's free list, awaiting reuse by a future Spawn.
+	statePooled
 )
 
-// proc is the kernel-side record of one simulated process.
+// proc is the kernel-side record of one simulated process. Records are
+// reused across process lifetimes (see Kernel.free), so every mutable field
+// is reset by Spawn.
 type proc struct {
 	id     int
 	name   string
 	state  procState
 	resume chan struct{}
 	killed bool
-	env    *Env
+	fn     func(*Env)
+	env    Env
 }
 
 // killSentinel is the panic value used to unwind killed processes.
@@ -75,22 +87,74 @@ type event struct {
 	at   Time
 	seq  uint64
 	proc *proc
+	// id is the proc incarnation the wakeup belongs to. Process records are
+	// pooled and reused (with a fresh id per Spawn), so a wakeup is stale —
+	// and must be dropped — unless the record still runs the same
+	// incarnation.
+	id int
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It is a concrete
+// implementation rather than a container/heap adapter so Push/Pop move
+// event values directly, with no interface boxing and no per-event
+// allocation.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// before reports whether element i must pop before element j.
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h *eventHeap) popMin() event     { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h.before(r, l) {
+			min = r
+		}
+		if !h.before(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+func (h *eventHeap) pushEvent(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) popMin() event {
+	old := *h
+	min := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // drop the proc pointer so pooled records can be collected
+	*h = old[:n]
+	if n > 1 {
+		old[:n].down(0)
+	}
+	return min
+}
 
 // Kernel is a discrete-event simulation instance. Create one with NewKernel,
 // spawn processes with Spawn, then call Run from the goroutine that created
@@ -101,6 +165,7 @@ type Kernel struct {
 	events  eventHeap
 	yield   chan struct{}
 	procs   []*proc
+	free    []*proc
 	live    int
 	idgen   int
 	failure error
@@ -127,22 +192,69 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Spawn registers a new process. It may be called before Run or from inside
 // a running process (usually via Env.Spawn). The process starts at the
 // current virtual time, after previously scheduled same-time events.
+//
+// Finished process records (and their goroutines) are reused, so workloads
+// that spawn one short-lived process per message or transfer do not pay a
+// record, channel and goroutine allocation each time.
 func (k *Kernel) Spawn(name string, fn func(*Env)) {
-	p := &proc{
-		id:     k.idgen,
-		name:   name,
-		state:  stateNew,
-		resume: make(chan struct{}),
+	var p *proc
+	if n := len(k.free); n > 0 {
+		p = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		p.name = name
+		p.state = stateNew
+		p.killed = false
+	} else {
+		p = &proc{
+			state:  stateNew,
+			name:   name,
+			resume: make(chan struct{}),
+		}
+		p.env = Env{k: k, p: p}
+		k.procs = append(k.procs, p)
+		go k.procLoop(p)
 	}
+	// Fresh id even on reuse: ids stay monotonic so the deterministic
+	// shutdown kill order reflects spawn order.
+	p.id = k.idgen
 	k.idgen++
-	p.env = &Env{k: k, p: p}
-	k.procs = append(k.procs, p)
+	p.fn = fn
 	k.live++
-	go k.runProc(p, fn)
 	k.schedule(k.now, p)
 }
 
-func (k *Kernel) runProc(p *proc, fn func(*Env)) {
+// procLoop is the body of one process goroutine. It runs successive process
+// incarnations assigned to this record; between incarnations the record
+// sits in the kernel's free list with the goroutine parked on p.resume.
+func (k *Kernel) procLoop(p *proc) {
+	for {
+		<-p.resume
+		if p.killed {
+			if p.state == statePooled {
+				// Shutdown of an idle pooled worker: no incarnation is
+				// live, so there is no state to unwind and no hand-off —
+				// the kernel is not waiting on yield for pooled records.
+				return
+			}
+			// Killed before the incarnation first ran: unwind as if the
+			// body had been killed at its first instruction.
+			p.state = stateDone
+			k.live--
+			k.yield <- struct{}{}
+			return
+		}
+		if !k.runBody(p) {
+			return
+		}
+	}
+}
+
+// runBody executes the current incarnation and reports whether the record
+// was returned to the pool (false means the goroutine must exit: the
+// incarnation was killed or panicked, which only happens during shutdown
+// or failure unwinding).
+func (k *Kernel) runBody(p *proc) (pooled bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isKill := r.(killSentinel); !isKill {
@@ -150,17 +262,23 @@ func (k *Kernel) runProc(p *proc, fn func(*Env)) {
 					k.failure = procPanic{name: p.name, value: r}
 				}
 			}
+			pooled = false
+			p.state = stateDone
+		} else {
+			// Normal completion: pool the record for the next Spawn. This
+			// runs while the kernel is blocked on yield, so touching the
+			// free list here is part of the single-runner hand-off.
+			p.state = statePooled
+			k.free = append(k.free, p)
+			pooled = true
 		}
-		p.state = stateDone
+		p.fn = nil
 		k.live--
 		k.yield <- struct{}{}
 	}()
-	<-p.resume
-	if p.killed {
-		panic(killSentinel{})
-	}
 	p.state = stateRunning
-	fn(p.env)
+	p.fn(&p.env)
+	return
 }
 
 // schedule enqueues a wakeup for p at time t.
@@ -169,7 +287,7 @@ func (k *Kernel) schedule(t Time, p *proc) {
 		t = k.now
 	}
 	p.state = stateRunnable
-	k.events.pushEvent(event{at: t, seq: k.seq, proc: p})
+	k.events.pushEvent(event{at: t, seq: k.seq, proc: p, id: p.id})
 	k.seq++
 }
 
@@ -198,14 +316,14 @@ func (k *Kernel) RunUntil(horizon Time) error {
 		return fmt.Errorf("sim: kernel already running")
 	}
 	k.running = true
-	for k.failure == nil && k.events.Len() > 0 {
+	for k.failure == nil && len(k.events) > 0 {
 		e := k.events.popMin()
 		if horizon >= 0 && e.at > horizon {
 			k.events.pushEvent(e)
 			break
 		}
-		if e.proc.state == stateDone {
-			continue
+		if e.proc.id != e.id || e.proc.state == stateDone || e.proc.state == statePooled {
+			continue // stale wakeup: the incarnation it was for is gone
 		}
 		k.now = e.at
 		k.dispatch(e.proc)
@@ -221,12 +339,12 @@ func (k *Kernel) dispatch(p *proc) {
 }
 
 // shutdown kills every process that is still alive so that no goroutines
-// leak past Run.
+// leak past Run, then releases the pooled worker goroutines.
 func (k *Kernel) shutdown() {
 	// Kill in a stable order for determinism of any side effects in defers.
 	alive := make([]*proc, 0, len(k.procs))
 	for _, p := range k.procs {
-		if p.state != stateDone {
+		if p.state != stateDone && p.state != statePooled {
 			alive = append(alive, p)
 		}
 	}
@@ -235,6 +353,16 @@ func (k *Kernel) shutdown() {
 		p.killed = true
 		k.dispatch(p)
 	}
+	// Pooled records hold idle goroutines parked on resume; wake each one
+	// so it exits. No yield hand-off happens on this path (no user code
+	// runs), so a plain send suffices.
+	for _, p := range k.procs {
+		if p.state == statePooled {
+			p.killed = true
+			p.resume <- struct{}{}
+		}
+	}
+	k.free = nil
 }
 
 // Env is a process's handle to the kernel. One Env belongs to exactly one
@@ -261,11 +389,22 @@ func (e *Env) Name() string { return e.p.name }
 // durations sleep zero time (the process still yields, so same-time events
 // scheduled earlier run first).
 func (e *Env) Sleep(d Time) {
-	if d < 0 {
-		d = 0
+	k := e.k
+	if d <= 0 {
+		// Fast path: yielding only matters if another event is pending at
+		// the current instant. The heap's minimum is never earlier than
+		// now, so if the top (if any) is strictly later, this process
+		// would be rescheduled and immediately re-dispatched — skip the
+		// two goroutine hand-offs and keep running.
+		if len(k.events) == 0 || k.events[0].at > k.now {
+			return
+		}
+		k.schedule(k.now, e.p)
+		k.park(e.p)
+		return
 	}
-	e.k.schedule(e.k.now+d, e.p)
-	e.k.park(e.p)
+	k.schedule(k.now+d, e.p)
+	k.park(e.p)
 }
 
 // Yield reschedules the process at the current time behind already-queued
