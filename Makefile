@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench-sweep check
+.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep check verify
 
 all: build
 
@@ -22,10 +22,21 @@ test-short:
 test-race:
 	$(GO) test -race -timeout 20m ./...
 
+# Short fuzz runs of the two decoders with checked-in corpora: the -faults
+# spec parser and the estimator profile loader.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/fault
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadProfile$$' -fuzztime 10s ./internal/estimator
+
 # Regenerates BENCH_sweep.json: full-report wall time serial vs parallel,
 # points/sec, speedup, byte-identity, and kernel allocs/op.
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
+
+# Mid-weight verification: vet + tier-1 tests + fuzz smoke + the chaos
+# fault-injection determinism check (serial vs 4 workers, seeds 1-3).
+verify: vet test fuzz-smoke
+	$(GO) test -run '^TestChaosDeterminism$$' -timeout 20m ./internal/experiments
 
 # Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,
 # sweep benchmark). See scripts/check.sh for knobs.

@@ -161,6 +161,8 @@ func BenchmarkFusion(b *testing.B) { benchExperiment(b, "fusion") }
 
 func BenchmarkPushRR(b *testing.B) { benchExperiment(b, "pushrr") }
 
+func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
+
 // Full-report benchmarks: the complete EXPERIMENTS.md regeneration, serial
 // vs on the sweep worker pool. On a multi-core host the parallel run should
 // finish in a fraction of the serial wall time with byte-identical output

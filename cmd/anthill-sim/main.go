@@ -4,12 +4,15 @@
 // Usage:
 //
 //	anthill-sim [-exp all|table1|fig6|...] [-full] [-seed N] [-o FILE]
+//	anthill-sim -exp chaos [-faults SPEC]
 //
 // With -exp all (the default) it writes a complete EXPERIMENTS.md-style
 // report; with a single experiment ID it prints just that section. -full
 // switches to paper-scale workloads (26,742-tile base cases, 267,420-tile
 // scaling runs); the default reduced scale preserves every qualitative
-// shape and finishes in a few minutes.
+// shape and finishes in a few minutes. -faults replaces the chaos
+// experiment's random intensity sweep with a scripted fault schedule (see
+// the fault-spec syntax in README.md or internal/fault).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -35,8 +39,20 @@ func main() {
 		svgDir   = flag.String("svg", "", "write each figure's curves as an SVG chart into this directory")
 		parallel = flag.Bool("parallel", true, "run independent sweep points on all cores (output is byte-identical to serial)")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, or the ANTHILL_WORKERS env var)")
+		faults   = flag.String("faults", "", "scripted fault schedule for -exp chaos, e.g. 'slow:node=0,at=100ms,for=500ms,x=4;crash:filter=nbia,inst=3,at=200ms'")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		if _, err := fault.Parse(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim: bad -faults spec:", err)
+			os.Exit(1)
+		}
+		if *exp != "chaos" {
+			fmt.Fprintln(os.Stderr, "anthill-sim: -faults requires -exp chaos")
+			os.Exit(1)
+		}
+	}
 
 	switch {
 	case !*parallel:
@@ -52,7 +68,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Full: *full, Seed: *seed}
+	cfg := experiments.Config{Full: *full, Seed: *seed, FaultSpec: *faults}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

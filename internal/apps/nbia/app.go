@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -93,6 +94,9 @@ type Config struct {
 	GPUWorkers int
 	// Tunables overrides runtime mechanisms for ablation studies.
 	Tunables *core.Tunables
+	// Faults is an optional fault schedule injected into the run (chaos
+	// experiments); nil or empty changes nothing.
+	Faults *fault.Schedule
 }
 
 // Result of an NBIA run.
@@ -150,6 +154,24 @@ func CPUOnlyTimeOffset(tiles int, levels []int, rate float64, offset uint64) sim
 	for id := 0; id < tiles; id++ {
 		for lv := 0; lv < len(levels); lv++ {
 			total += CPUTime(uint64(id)+offset, levels[lv], lv)
+			if lv == len(levels)-1 || !recalcNeeded(uint64(id)+offset, lv, rate) {
+				break
+			}
+		}
+	}
+	return total
+}
+
+// ExpectedLineages counts the task lineages a fused-pipeline run creates:
+// one per tile per pyramid level the tile reaches. With RecordProcs on, a
+// run is work-conserving iff it produces exactly this many process records,
+// each (tile, level) pair appearing exactly once — crashes may move tiles
+// between instances but must never lose or duplicate one.
+func ExpectedLineages(tiles int, levels []int, rate float64, offset uint64) int64 {
+	var total int64
+	for id := 0; id < tiles; id++ {
+		for lv := 0; lv < len(levels); lv++ {
+			total++
 			if lv == len(levels)-1 || !recalcNeeded(uint64(id)+offset, lv, rate) {
 				break
 			}
@@ -378,6 +400,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		worker := rt.AddFilter(workerSpec)
 		rt.Connect(readers, worker, cfg.Policy)
+	}
+
+	if cfg.Faults != nil {
+		if err := fault.Apply(rt, cfg.Faults); err != nil {
+			return nil, fmt.Errorf("nbia: %w", err)
+		}
 	}
 
 	run, err := rt.Run()

@@ -115,6 +115,10 @@ func (f *Filter) Name() string { return f.spec.Name }
 // Instances returns the filter's transparent copies (valid after Run).
 func (f *Filter) Instances() []*Instance { return f.instances }
 
+// InstanceCount returns the number of transparent copies the filter will
+// have (its placement size). Unlike Instances it is valid before Run.
+func (f *Filter) InstanceCount() int { return len(f.spec.Placement) }
+
 // Stream is a logical n-to-m channel from the instances of one filter to
 // the instances of another, governed by a StreamPolicy.
 type Stream struct {
@@ -123,6 +127,17 @@ type Stream struct {
 	to      *Filter
 	pol     policy.StreamPolicy
 	labelFn func(*task.Task) uint64
+	stats   streamStats
+}
+
+// streamStats counts buffer movements on one stream for the drain-time
+// conservation invariant: every buffer shipped by a sender is either
+// delivered into a live consumer's queue or re-enqueued upstream by the
+// crash-recovery path, so delivered == sent - reenqueued must hold exactly.
+type streamStats struct {
+	sent       int64 // buffers shipped by a sender (re-sends recount)
+	delivered  int64 // buffers landed in a live consumer's input queue
+	reenqueued int64 // buffers reclaimed upstream after a crash
 }
 
 // Policy returns the stream's policy.
@@ -130,6 +145,12 @@ func (s *Stream) Policy() policy.StreamPolicy { return s.pol }
 
 // Labeled reports whether the stream routes buffers by label.
 func (s *Stream) Labeled() bool { return s.labelFn != nil }
+
+// Stats returns the stream's conservation counters (sent, delivered,
+// re-enqueued buffers).
+func (s *Stream) Stats() (sent, delivered, reenqueued int64) {
+	return s.stats.sent, s.stats.delivered, s.stats.reenqueued
+}
 
 // tracker counts outstanding task lineages; the run completes when the
 // count returns to zero.
@@ -423,6 +444,9 @@ func (rt *Runtime) Run() (Result, error) {
 	})
 
 	err := rt.K.Run()
+	if err == nil {
+		err = rt.Validate()
+	}
 	return Result{
 		Makespan:  rt.track.completedAt,
 		Completed: rt.track.total,
@@ -432,3 +456,83 @@ func (rt *Runtime) Run() (Result, error) {
 
 // Done reports whether all task lineages have completed.
 func (rt *Runtime) Done() bool { return rt.track.done.Fired() }
+
+// FilterByName returns the filter with the given name.
+func (rt *Runtime) FilterByName(name string) (*Filter, bool) {
+	for _, f := range rt.filters {
+		if f.spec.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// CheckCrashTarget reports whether (filter, instance) is a legal crash
+// target: the filter must exist, be a processing filter (sources hold the
+// only copy of unread input, so their loss is unrecoverable), have inst
+// within its placement, and consume no labeled stream (labeled consumers own
+// per-label state that cannot migrate to a sibling). Usable before Run.
+func (rt *Runtime) CheckCrashTarget(name string, inst int) error {
+	f, ok := rt.FilterByName(name)
+	if !ok {
+		return fmt.Errorf("core: unknown filter %q", name)
+	}
+	if f.spec.Handler == nil {
+		return fmt.Errorf("core: filter %q is a source; only processing filters can crash", name)
+	}
+	if inst < 0 || inst >= len(f.spec.Placement) {
+		return fmt.Errorf("core: filter %q has %d instances, cannot crash instance %d",
+			name, len(f.spec.Placement), inst)
+	}
+	for _, s := range f.in {
+		if s.labelFn != nil {
+			return fmt.Errorf("core: filter %q consumes a labeled stream; its instances cannot crash", name)
+		}
+	}
+	return nil
+}
+
+// Validate checks the runtime's drain-time invariants: the run completed
+// (no stream deadlock), every stream's conservation identity holds, and no
+// queue — in particular none belonging to a dead instance — still holds a
+// buffer. Run calls it automatically after a clean kernel drain.
+func (rt *Runtime) Validate() error {
+	if !rt.track.done.Fired() {
+		return fmt.Errorf("core: stream deadlock: %d task lineages outstanding at drain",
+			rt.track.outstanding)
+	}
+	for _, s := range rt.streams {
+		if s.stats.delivered != s.stats.sent-s.stats.reenqueued {
+			return fmt.Errorf("core: stream %s->%s: delivered %d != sent %d - reenqueued %d",
+				s.from.Name(), s.to.Name(), s.stats.delivered, s.stats.sent, s.stats.reenqueued)
+		}
+	}
+	for _, f := range rt.filters {
+		for _, inst := range f.instances {
+			where := "instance"
+			if inst.dead {
+				where = "dead instance"
+			}
+			for qi, is := range inst.inputs {
+				if n := is.queue.Len(); n != 0 {
+					return fmt.Errorf("core: %s %s/%d input %d holds %d buffers at drain",
+						where, f.Name(), inst.idx, qi, n)
+				}
+			}
+			if inst.out == nil {
+				continue
+			}
+			if n := inst.out.queue.Len(); n != 0 {
+				return fmt.Errorf("core: %s %s/%d send queue holds %d buffers at drain",
+					where, f.Name(), inst.idx, n)
+			}
+			for pi, p := range inst.out.parts {
+				if n := p.Len(); n != 0 {
+					return fmt.Errorf("core: %s %s/%d send partition %d holds %d buffers at drain",
+						where, f.Name(), inst.idx, pi, n)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -118,6 +118,7 @@ func (s *sender) run(e *sim.Env) {
 		var rep reply
 		if t := s.popFor(req); t != nil {
 			rep = reply{t: t}
+			s.inst.f.out.stats.sent++
 		} else if rt.track.done.Fired() {
 			rep = reply{eof: true}
 		}
@@ -148,7 +149,7 @@ func (s *sender) runPush(e *sim.Env) {
 	}
 	rr := s.inst.idx % len(consumers)
 	backoff := minBackoff
-	for !rt.track.done.Fired() {
+	for !rt.track.done.Fired() && !s.inst.dead {
 		s.refill(e.Now())
 		t := s.queue.PopFor(hw.CPU) // FIFO pop: kind is irrelevant
 		if t != nil && s.gen != nil {
@@ -162,10 +163,28 @@ func (s *sender) runPush(e *sim.Env) {
 			continue
 		}
 		backoff = minBackoff
+		// Skip crashed consumers in the rotation; fault.Apply guarantees at
+		// least one transparent copy survives.
 		dst := consumers[rr%len(consumers)]
+		for scan := 0; dst.dead; scan++ {
+			if scan == len(consumers) {
+				panic("core: push stream has no live consumer")
+			}
+			rr++
+			dst = consumers[rr%len(consumers)]
+		}
 		rr++
 		rt.Cluster.Net.Send(e, s.inst.node, dst.node, t.Size)
+		stream.stats.sent++
+		if dst.dead {
+			// Crashed while the buffer was on the wire: reclaim it into our
+			// own send queue (the sender's retransmit buffer) for re-send.
+			stream.stats.reenqueued++
+			s.push(t)
+			continue
+		}
 		dst.inputs[qi].queue.Push(t)
+		stream.stats.delivered++
 		dst.taskAvail.NotifyAll()
 	}
 }
@@ -241,6 +260,9 @@ type Instance struct {
 	workers   []*worker
 	rrQueue   int
 	resubRR   int
+	reclaimRR int
+	dead      bool     // fail-stop crashed (fault injection)
+	diedAt    sim.Time // crash time, for reports
 	taskAvail *sim.Cond // workers wait here for queued events
 	demand    *sim.Cond // requesters wait here for demand headroom
 	// fetcher maps a queued task to the request bookkeeping of the worker
@@ -253,6 +275,9 @@ type Instance struct {
 
 // Node returns the node hosting this instance.
 func (inst *Instance) Node() *hw.Node { return inst.node }
+
+// Dead reports whether the instance has been crashed by fault injection.
+func (inst *Instance) Dead() bool { return inst.dead }
 
 // Workers returns the instance's workers' device kinds, for tests.
 func (inst *Instance) WorkerKinds() []hw.Kind {
@@ -381,8 +406,10 @@ func (inst *Instance) wakeAll() {
 // queues, selecting the queue round-robin as the Event Scheduler does. The
 // returned reqState is the *popping* worker's bookkeeping for the stream
 // the event came from (used for its DQAA update); the fetching worker's
-// requestsize is decremented internally.
-func (w *worker) tryPop() (*task.Task, *reqState) {
+// requestsize is decremented internally. The last result is the input-queue
+// index the event came from, so the crash-recovery path can credit the
+// right stream when a dead worker's in-service event is reclaimed.
+func (w *worker) tryPop() (*task.Task, *reqState, int) {
 	inst := w.inst
 	n := len(inst.inputs)
 	for i := 0; i < n; i++ {
@@ -394,20 +421,23 @@ func (w *worker) tryPop() (*task.Task, *reqState) {
 				fs.requestSize--
 				inst.demand.NotifyAll()
 			}
-			return t, w.reqStates[qi]
+			return t, w.reqStates[qi], qi
 		}
 	}
-	return nil, nil
+	return nil, nil, -1
 }
 
 // pop blocks until an event is available or the job completes (nil).
-func (w *worker) pop(e *sim.Env) (*task.Task, *reqState) {
+func (w *worker) pop(e *sim.Env) (*task.Task, *reqState, int) {
 	for {
-		if t, st := w.tryPop(); t != nil {
-			return t, st
+		if w.inst.dead {
+			return nil, nil, -1
+		}
+		if t, st, qi := w.tryPop(); t != nil {
+			return t, st, qi
 		}
 		if w.inst.rt.track.done.Fired() {
-			return nil, nil
+			return nil, nil, -1
 		}
 		w.inst.taskAvail.Wait(e)
 	}
@@ -424,7 +454,7 @@ const batchAffinityRatio = 0.5
 
 // tryPopAtLeast pops the best event for the worker whose relative-advantage
 // key is at least minKey, or nil.
-func (w *worker) tryPopAtLeast(minKey float64) (*task.Task, *reqState) {
+func (w *worker) tryPopAtLeast(minKey float64) (*task.Task, *reqState, int) {
 	inst := w.inst
 	n := len(inst.inputs)
 	for i := 0; i < n; i++ {
@@ -440,35 +470,37 @@ func (w *worker) tryPopAtLeast(minKey float64) (*task.Task, *reqState) {
 				fs.requestSize--
 				inst.demand.NotifyAll()
 			}
-			return t, w.reqStates[qi]
+			return t, w.reqStates[qi], qi
 		}
 	}
-	return nil, nil
+	return nil, nil, -1
 }
 
 // popBatch collects up to n events, blocking only for the first. Extension
 // events must have comparable affinity to the first one.
-func (w *worker) popBatch(e *sim.Env, n int) ([]*task.Task, []*reqState) {
-	t, st := w.pop(e)
+func (w *worker) popBatch(e *sim.Env, n int) ([]*task.Task, []*reqState, []int) {
+	t, st, qi := w.pop(e)
 	if t == nil {
-		return nil, nil
+		return nil, nil, nil
 	}
 	batch := []*task.Task{t}
 	states := []*reqState{st}
+	qis := []int{qi}
 	ratio := w.inst.rt.tun.BatchAffinityRatio
 	minKey := t.Key[w.kind] * ratio
 	if ratio < 0 {
 		minKey = -1 // any key qualifies: greedy draining (ablation)
 	}
 	for len(batch) < n {
-		t, st := w.tryPopAtLeast(minKey)
+		t, st, qi := w.tryPopAtLeast(minKey)
 		if t == nil {
 			break
 		}
 		batch = append(batch, t)
 		states = append(states, st)
+		qis = append(qis, qi)
 	}
-	return batch, states
+	return batch, states, qis
 }
 
 // run is the worker's main loop (ThreadWorker in Algorithm 2). GPU workers
@@ -477,12 +509,20 @@ func (w *worker) popBatch(e *sim.Env, n int) ([]*task.Task, []*reqState) {
 func (w *worker) run(e *sim.Env) {
 	for {
 		if w.kind == hw.GPU && w.exec.Async {
-			batch, states := w.popBatch(e, w.ctrl.Concurrent())
+			batch, states, qis := w.popBatch(e, w.ctrl.Concurrent())
 			if batch == nil {
 				return
 			}
 			start := e.Now()
 			dur := w.exec.RunBatch(e, batch)
+			if w.inst.dead {
+				// Fail-stop mid-service: the batch's work is lost and its
+				// events are reclaimed upstream for reprocessing.
+				for i, t := range batch {
+					w.abortReclaim(qis[i], t)
+				}
+				return
+			}
 			perEvent := dur / sim.Time(len(batch))
 			for i, t := range batch {
 				w.afterProcess(e, states[i], perEvent)
@@ -496,7 +536,7 @@ func (w *worker) run(e *sim.Env) {
 				}
 			}
 		} else {
-			t, st := w.pop(e)
+			t, st, qi := w.pop(e)
 			if t == nil {
 				return
 			}
@@ -505,6 +545,10 @@ func (w *worker) run(e *sim.Env) {
 				w.exec.RunBatch(e, []*task.Task{t})
 			} else {
 				w.dev.Run(e, t.Cost(w.kind))
+			}
+			if w.inst.dead {
+				w.abortReclaim(qi, t)
+				return
 			}
 			w.afterProcess(e, st, e.Now()-start)
 			w.finish(e, t, start)
@@ -628,7 +672,7 @@ func (w *worker) requester(e *sim.Env, qi int) {
 	backoff := minBackoff
 	emptyStreak := 0
 	eof := false
-	for !rt.track.done.Fired() && !eof {
+	for !rt.track.done.Fired() && !eof && !inst.dead {
 		if st.requestSize >= w.targetFor(st) {
 			inst.demand.Wait(e)
 			continue
@@ -643,6 +687,11 @@ func (w *worker) requester(e *sim.Env, qi int) {
 		}
 		snd := senders[st.rrSender%len(senders)]
 		st.rrSender++
+		if snd.inst.dead {
+			// Crashed producers are skipped like producers with no data.
+			emptyStreak++
+			continue
+		}
 		st.requestSize++ // in transit counts toward the target
 		fetch := func(fe *sim.Env) {
 			t0 := fe.Now()
@@ -654,11 +703,18 @@ func (w *worker) requester(e *sim.Env, qi int) {
 			case !ok || rep.eof:
 				eof = true
 				st.requestSize--
+			case rep.t != nil && inst.dead:
+				// We crashed while the buffer was in flight: hand it back to
+				// a surviving upstream sender for redelivery elsewhere.
+				stream.stats.reenqueued++
+				inst.liveUpstream(qi).out.push(rep.t)
+				st.requestSize--
 			case rep.t != nil:
 				st.lastLatency = fe.Now() - t0
 				st.haveLatency = true
 				inst.fetcher[rep.t.ID] = st
 				inst.inputs[qi].queue.Push(rep.t)
+				stream.stats.delivered++
 				inst.taskAvail.NotifyAll()
 				backoff = minBackoff
 				emptyStreak = 0

@@ -1,0 +1,49 @@
+package estimator
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadProfile asserts the profile decoder's contract on arbitrary bytes:
+// Load must return a profile or an error, never panic, and any profile it
+// accepts must survive a Save/Load round trip with the same sample count.
+func FuzzLoadProfile(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"version":1,"samples":[]}`,
+		`{"version":1,"samples":[{"params":[256,0.5],"times":{"CPU":0.01,"GPU":0.002}}]}`,
+		`{"version":1,"samples":[{"params":[1],"cats":["hi-res"],"times":{"CPU":1}}]}`,
+		`{"version":2,"samples":[]}`,
+		`{"version":1,"samples":[{"times":{"TPU":1}}]}`,
+		`{"version":1,"samples":[{"times":{"CPU":-1}}]}`,
+		`{"version":1,"samples":[{"params":[1e309]}]}`,
+		`{"version":1,"samples":null}`,
+		`[1,2,3]`,
+		`{"version":1,"samples":[{"params":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Load returned nil profile with nil error")
+		}
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("Save of accepted profile failed: %v", err)
+		}
+		again, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("reload of saved profile failed: %v\n%s", err, buf.String())
+		}
+		if again.Len() != p.Len() {
+			t.Fatalf("round trip changed sample count: %d -> %d", p.Len(), again.Len())
+		}
+	})
+}

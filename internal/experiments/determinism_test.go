@@ -56,6 +56,28 @@ func TestSweepDeterminismQuick(t *testing.T) {
 	}
 }
 
+// TestChaosDeterminism checks that the chaos experiment — whose points run
+// two simulations each and draw per-point random fault schedules — renders
+// byte-identically on a 4-worker pool and the serial path. Like
+// TestSweepDeterminismQuick it runs even under -short so the race detector
+// covers fault injection on every CI pass.
+func TestChaosDeterminism(t *testing.T) {
+	e, ok := ByID("chaos")
+	if !ok {
+		t.Fatal("chaos experiment not registered")
+	}
+	exps := []Experiment{e}
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := Config{Seed: seed}
+		serial := renderMany(t, cfg, exps, 1)
+		par := renderMany(t, cfg, exps, 4)
+		if serial != par {
+			t.Errorf("seed %d: parallel chaos report differs from serial (%d vs %d bytes)",
+				seed, len(par), len(serial))
+		}
+	}
+}
+
 // TestRunAllDeterminism checks byte-identity for the full registry. Seed 1
 // always runs (outside -short); additional seeds are enabled with e.g.
 // ANTHILL_DETERMINISM_SEEDS=3, which scripts/check.sh sets for the

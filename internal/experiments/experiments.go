@@ -24,6 +24,10 @@ type Config struct {
 	Full bool
 	// Seed drives all randomness.
 	Seed int64
+	// FaultSpec, when non-empty, replaces the chaos experiment's random
+	// intensity sweep with this scripted -faults schedule (see fault.Parse).
+	// Other experiments ignore it.
+	FaultSpec string
 }
 
 // Check is one qualitative assertion about an experiment's outcome.
@@ -102,7 +106,8 @@ func All() []Experiment {
 func orderOf(id string) int {
 	order := []string{"table1", "fig6", "fig7", "table2", "table3", "fig8",
 		"table4", "fig9", "fig10", "table6", "fig11", "fig12", "fig13", "fig14",
-		"fusion", "pushrr", "ablation", "models", "gpusharing", "variance"}
+		"fusion", "pushrr", "ablation", "models", "gpusharing", "variance",
+		"chaos"}
 	for i, v := range order {
 		if v == id {
 			return i
@@ -138,7 +143,7 @@ Every table and figure of "Run-time optimizations for replicated dataflows
 on heterogeneous environments" (HPDC 2010), regenerated on the simulated
 heterogeneous cluster at %s, followed by the extension studies (mechanism
 ablations, the estimator model zoo, concurrent GPU execution, run-to-run
-variance). Absolute numbers are not expected to match the authors' 2010
+variance, fault-injection chaos). Absolute numbers are not expected to match the authors' 2010
 testbed; each section lists the paper's qualitative claim and the shape
 checks our measurement must (and does) satisfy.
 

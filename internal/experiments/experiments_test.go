@@ -8,7 +8,8 @@ import (
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	want := []string{"table1", "fig6", "fig7", "table2", "table3", "fig8",
 		"table4", "fig9", "fig10", "table6", "fig11", "fig12", "fig13", "fig14",
-		"fusion", "pushrr", "ablation", "models", "gpusharing", "variance"}
+		"fusion", "pushrr", "ablation", "models", "gpusharing", "variance",
+		"chaos"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

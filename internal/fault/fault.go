@@ -1,0 +1,136 @@
+// Package fault is a deterministic, virtual-time fault-injection layer for
+// the simulated cluster. A Schedule is a list of timed events — transient
+// device slowdowns, NIC/PCIe degradations, and fail-stop filter-instance
+// crashes — that Apply turns into ordinary simulation processes on a
+// core.Runtime. Because everything happens in virtual time, a chaos run is
+// byte-for-byte reproducible from (seed, schedule): the same schedule on the
+// same workload produces the identical event sequence on every host and
+// worker count.
+//
+// Schedules come from two places: Parse decodes the human-written spec
+// syntax of the -faults CLI flag, and Random draws a schedule from a seeded
+// generator with a single intensity knob, for chaos sweeps.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind enumerates the fault classes.
+type Kind int
+
+const (
+	// Slow multiplies a node's device cost over a time window (thermal
+	// throttling, a co-located job).
+	Slow Kind = iota
+	// Net degrades a node's NIC: added latency and/or a bandwidth cut.
+	Net
+	// PCIe degrades a GPU node's PCIe link the same way.
+	PCIe
+	// Crash fail-stops one transparent copy of a filter.
+	Crash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Slow:
+		return "slow"
+	case Net:
+		return "net"
+	case PCIe:
+		return "pcie"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DevAll selects every device class of the target node in a Slow event.
+const DevAll = -1
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind
+
+	// Node targets Slow/Net/PCIe events.
+	Node int
+	// Dev restricts a Slow event to one device class: int(hw.CPU),
+	// int(hw.GPU), or DevAll for every device on the node.
+	Dev int
+
+	// Filter and Instance target Crash events.
+	Filter   string
+	Instance int
+
+	// At is the virtual time the fault begins; Dur is the window length
+	// (ignored by Crash — crashes are permanent).
+	At, Dur sim.Time
+
+	// Factor is the multiplicative effect: device-cost multiplier (> 1
+	// slows) for Slow, bandwidth scale (< 1 cuts) for Net/PCIe.
+	Factor float64
+	// Latency is the additive latency penalty of Net/PCIe events.
+	Latency sim.Time
+}
+
+// Schedule is an ordered list of fault events.
+type Schedule struct {
+	Events []Event
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
+
+// String renders the schedule in the canonical -faults spec syntax; the
+// output parses back to an identical schedule.
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(s.Events))
+	for _, ev := range s.Events {
+		parts = append(parts, ev.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders one event in spec syntax.
+func (ev Event) String() string {
+	var b strings.Builder
+	b.WriteString(ev.Kind.String())
+	b.WriteByte(':')
+	switch ev.Kind {
+	case Slow:
+		fmt.Fprintf(&b, "node=%d,at=%s,for=%s,x=%s", ev.Node, ftoa(float64(ev.At)),
+			ftoa(float64(ev.Dur)), ftoa(ev.Factor))
+		switch ev.Dev {
+		case 0:
+			b.WriteString(",dev=cpu")
+		case 1:
+			b.WriteString(",dev=gpu")
+		}
+	case Net, PCIe:
+		fmt.Fprintf(&b, "node=%d,at=%s,for=%s", ev.Node, ftoa(float64(ev.At)),
+			ftoa(float64(ev.Dur)))
+		// Emit bw whenever lat would be absent so the event always carries
+		// at least one effect key and stays parseable.
+		if ev.Factor != 1 || ev.Latency == 0 {
+			fmt.Fprintf(&b, ",bw=%s", ftoa(ev.Factor))
+		}
+		if ev.Latency != 0 {
+			fmt.Fprintf(&b, ",lat=%s", ftoa(float64(ev.Latency)))
+		}
+	case Crash:
+		fmt.Fprintf(&b, "filter=%s,inst=%d,at=%s", ev.Filter, ev.Instance,
+			ftoa(float64(ev.At)))
+	}
+	return b.String()
+}
+
+// ftoa formats a float in the shortest form that round-trips.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,235 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Parse decodes a -faults spec into a Schedule. The syntax is a
+// semicolon-separated list of events, each `kind:key=value,...`:
+//
+//	slow:node=N,at=T,for=D,x=F[,dev=cpu|gpu]   device-cost multiplier F on
+//	                                           node N during [T, T+D)
+//	net:node=N,at=T,for=D[,bw=F][,lat=T2]      NIC bandwidth scaled by F
+//	                                           and/or latency increased by T2
+//	pcie:node=N,at=T,for=D[,bw=F][,lat=T2]     same, for the PCIe link
+//	crash:filter=NAME,inst=I,at=T              fail-stop instance I of NAME
+//
+// Times are seconds, with optional s/ms/us suffixes ("0.5", "500ms").
+// Whitespace around events is ignored; empty events are skipped. Malformed
+// input returns an error, never panics. Workload-dependent checks (node
+// ranges, filter names) happen later, in Apply.
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, raw := range strings.Split(spec, ";") {
+		part := strings.TrimSpace(raw)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("fault: event %q: %w", part, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s, nil
+}
+
+func parseEvent(part string) (Event, error) {
+	head, rest, ok := strings.Cut(part, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("missing ':' after fault kind")
+	}
+	var kind Kind
+	switch strings.TrimSpace(head) {
+	case "slow":
+		kind = Slow
+	case "net":
+		kind = Net
+	case "pcie":
+		kind = PCIe
+	case "crash":
+		kind = Crash
+	default:
+		return Event{}, fmt.Errorf("unknown fault kind %q", strings.TrimSpace(head))
+	}
+	kv, err := parseKV(rest)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{Kind: kind, Dev: DevAll, Factor: 1}
+	switch kind {
+	case Slow:
+		if err := kv.require("node", "at", "for", "x"); err != nil {
+			return Event{}, err
+		}
+		if ev.Node, err = kv.intVal("node"); err != nil {
+			return Event{}, err
+		}
+		if ev.At, err = kv.timeVal("at"); err != nil {
+			return Event{}, err
+		}
+		if ev.Dur, err = kv.timeVal("for"); err != nil {
+			return Event{}, err
+		}
+		if ev.Factor, err = kv.floatVal("x"); err != nil {
+			return Event{}, err
+		}
+		if dev, ok := kv["dev"]; ok {
+			switch dev {
+			case "cpu":
+				ev.Dev = 0
+			case "gpu":
+				ev.Dev = 1
+			default:
+				return Event{}, fmt.Errorf("dev must be cpu or gpu, got %q", dev)
+			}
+			delete(kv, "dev")
+		}
+	case Net, PCIe:
+		if err := kv.require("node", "at", "for"); err != nil {
+			return Event{}, err
+		}
+		if ev.Node, err = kv.intVal("node"); err != nil {
+			return Event{}, err
+		}
+		if ev.At, err = kv.timeVal("at"); err != nil {
+			return Event{}, err
+		}
+		if ev.Dur, err = kv.timeVal("for"); err != nil {
+			return Event{}, err
+		}
+		gotEffect := false
+		if _, ok := kv["bw"]; ok {
+			if ev.Factor, err = kv.floatVal("bw"); err != nil {
+				return Event{}, err
+			}
+			gotEffect = true
+		}
+		if _, ok := kv["lat"]; ok {
+			if ev.Latency, err = kv.timeVal("lat"); err != nil {
+				return Event{}, err
+			}
+			gotEffect = true
+		}
+		if !gotEffect {
+			return Event{}, fmt.Errorf("need at least one of bw=, lat=")
+		}
+	case Crash:
+		if err := kv.require("filter", "inst", "at"); err != nil {
+			return Event{}, err
+		}
+		ev.Filter = kv["filter"]
+		delete(kv, "filter")
+		if ev.Filter == "" {
+			return Event{}, fmt.Errorf("filter name must not be empty")
+		}
+		if strings.ContainsAny(ev.Filter, ",;:= \t") {
+			return Event{}, fmt.Errorf("filter name %q contains reserved characters", ev.Filter)
+		}
+		if ev.Instance, err = kv.intVal("inst"); err != nil {
+			return Event{}, err
+		}
+		if ev.At, err = kv.timeVal("at"); err != nil {
+			return Event{}, err
+		}
+	}
+	for k := range kv {
+		return Event{}, fmt.Errorf("unknown key %q for %s fault", k, kind)
+	}
+	if ev.Node < 0 {
+		return Event{}, fmt.Errorf("node must be >= 0")
+	}
+	if ev.Instance < 0 {
+		return Event{}, fmt.Errorf("inst must be >= 0")
+	}
+	if ev.At < 0 {
+		return Event{}, fmt.Errorf("at must be >= 0")
+	}
+	if kind != Crash && ev.Dur <= 0 {
+		return Event{}, fmt.Errorf("for must be > 0")
+	}
+	if ev.Factor <= 0 {
+		return Event{}, fmt.Errorf("multiplier must be > 0")
+	}
+	if ev.Latency < 0 {
+		return Event{}, fmt.Errorf("lat must be >= 0")
+	}
+	return ev, nil
+}
+
+// kvMap holds an event's key=value pairs; accessors consume entries so that
+// leftovers can be flagged as unknown keys.
+type kvMap map[string]string
+
+func parseKV(s string) (kvMap, error) {
+	kv := make(kvMap)
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty key=value entry")
+		}
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not key=value", item)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func (kv kvMap) require(keys ...string) error {
+	for _, k := range keys {
+		if _, ok := kv[k]; !ok {
+			return fmt.Errorf("missing required key %q", k)
+		}
+	}
+	return nil
+}
+
+func (kv kvMap) intVal(key string) (int, error) {
+	v, err := strconv.Atoi(kv[key])
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not an integer", key, kv[key])
+	}
+	delete(kv, key)
+	return v, nil
+}
+
+func (kv kvMap) floatVal(key string) (float64, error) {
+	v, err := strconv.ParseFloat(kv[key], 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%s: %q is not a finite number", key, kv[key])
+	}
+	delete(kv, key)
+	return v, nil
+}
+
+// timeVal parses a duration in seconds with an optional s/ms/us suffix.
+func (kv kvMap) timeVal(key string) (sim.Time, error) {
+	raw := kv[key]
+	mult := sim.Second
+	num := raw
+	switch {
+	case strings.HasSuffix(raw, "us"):
+		mult, num = sim.Microsecond, strings.TrimSuffix(raw, "us")
+	case strings.HasSuffix(raw, "ms"):
+		mult, num = sim.Millisecond, strings.TrimSuffix(raw, "ms")
+	case strings.HasSuffix(raw, "s"):
+		num = strings.TrimSuffix(raw, "s")
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%s: %q is not a duration", key, raw)
+	}
+	delete(kv, key)
+	return sim.Time(v) * mult, nil
+}

@@ -1,0 +1,43 @@
+package fault
+
+import "testing"
+
+// FuzzParse asserts the -faults parser's contract on arbitrary input:
+// it must return (schedule, nil) or (nil, error) — never panic — and any
+// schedule it accepts must render to canonical syntax that reparses to the
+// same canonical form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		";;",
+		"slow:node=0,at=0,for=1,x=2",
+		"slow:node=3,at=1.5,for=2s,x=8,dev=gpu",
+		"net:node=1,at=500ms,for=250ms,bw=0.25,lat=2ms",
+		"pcie:node=0,at=0,for=1,lat=100us",
+		"crash:filter=segmentation,inst=3,at=12.5",
+		"slow:node=0,at=0,for=1,x=2;net:node=1,at=0,for=1,bw=0.5;crash:filter=f,inst=0,at=1",
+		"slow:node=0,at=1e-3,for=1e3,x=1.0000001",
+		"crash:filter=\xff\xfe,inst=0,at=0",
+		"slow:node=00009999999999999999,at=0,for=1,x=2",
+		"net:node=0,at=NaN,for=Inf,bw=-0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("Parse returned nil schedule with nil error")
+		}
+		canon := s.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not reparse: %v", canon, spec, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", canon, again.String())
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Shape describes the workload a random schedule is drawn for: the cluster
+// size, which nodes carry GPUs, the healthy-run horizon the fault windows
+// are scaled to, and the crashable filter.
+type Shape struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// GPUNodes lists node IDs with a GPU (eligible for PCIe faults).
+	GPUNodes []int
+	// Horizon is the reference makespan: fault start times and window
+	// lengths are drawn as fractions of it, so intensity means the same
+	// thing across workload scales.
+	Horizon sim.Time
+	// Filter is the processing filter whose instances may crash; empty
+	// disables crash events.
+	Filter string
+	// Instances is Filter's transparent-copy count; at least one copy
+	// always survives.
+	Instances int
+}
+
+// Random draws a fault schedule from a seeded generator. intensity in [0, 1]
+// scales everything: the probability that a node misbehaves, how hard its
+// devices slow down, how deep the bandwidth cuts go, and how many instances
+// of the target filter crash. intensity 0 returns an empty schedule; equal
+// (seed, intensity, shape) always return the identical schedule.
+func Random(seed int64, intensity float64, shape Shape) *Schedule {
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	s := &Schedule{}
+	if intensity == 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := shape.Horizon
+	gpu := make(map[int]bool, len(shape.GPUNodes))
+	for _, id := range shape.GPUNodes {
+		gpu[id] = true
+	}
+	// Per-node device slowdowns and NIC degradations. Draws happen in a
+	// fixed order regardless of which events materialize, so one event's
+	// presence never perturbs the parameters of the next.
+	for node := 0; node < shape.Nodes; node++ {
+		pSlow, at1, dur1, x := rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()
+		pNet, at2, dur2, bw, lat := rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()
+		pPCIe, at3, dur3, bw2, lat2 := rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()
+		if pSlow < 0.8*intensity {
+			s.Events = append(s.Events, Event{
+				Kind: Slow, Node: node, Dev: DevAll,
+				At:     sim.Time(0.5*at1) * h,
+				Dur:    sim.Time(0.15+0.25*dur1) * h,
+				Factor: 2 + 6*x*intensity,
+			})
+		}
+		if pNet < 0.6*intensity {
+			s.Events = append(s.Events, Event{
+				Kind: Net, Node: node,
+				At:      sim.Time(0.5*at2) * h,
+				Dur:     sim.Time(0.15+0.25*dur2) * h,
+				Factor:  1 - (0.5+0.3*bw)*intensity, // bandwidth cut deepens with intensity
+				Latency: sim.Time(lat*intensity) * 2 * sim.Millisecond,
+			})
+		}
+		if gpu[node] && pPCIe < 0.5*intensity {
+			s.Events = append(s.Events, Event{
+				Kind: PCIe, Node: node,
+				At:      sim.Time(0.5*at3) * h,
+				Dur:     sim.Time(0.15+0.25*dur3) * h,
+				Factor:  1 - (0.3+0.4*bw2)*intensity,
+				Latency: sim.Time(lat2*intensity) * sim.Millisecond,
+			})
+		}
+	}
+	// Crashes: up to half the target filter's copies, never all of them.
+	if shape.Filter != "" && shape.Instances > 1 {
+		n := int(intensity * float64(shape.Instances) * 0.5)
+		if n > shape.Instances-1 {
+			n = shape.Instances - 1
+		}
+		victims := rng.Perm(shape.Instances)[:n]
+		for _, inst := range victims {
+			s.Events = append(s.Events, Event{
+				Kind:     Crash,
+				Filter:   shape.Filter,
+				Instance: inst,
+				At:       sim.Time(0.2+0.5*rng.Float64()) * h,
+			})
+		}
+	}
+	return s
+}

@@ -21,12 +21,22 @@ type NetworkConfig struct {
 	LocalBandwidthBps float64
 }
 
+// netDegrade is the fault-injected state of one node's NIC: an additive
+// latency penalty and a multiplicative bandwidth scale.
+type netDegrade struct {
+	latency sim.Time
+	bwScale float64
+}
+
 // Network models a switched full-bisection network: each node owns an
 // egress NIC that serializes its outgoing messages; the fabric itself never
 // congests (reasonable for 14 nodes on a gigabit switch).
 type Network struct {
 	cfg   NetworkConfig
 	bytes int64
+	// deg holds per-node NIC degradations; nil until the first Degrade call,
+	// so the healthy hot path pays only a nil check.
+	deg map[int]*netDegrade
 }
 
 // NewNetwork creates a network model.
@@ -42,6 +52,27 @@ func (n *Network) Config() NetworkConfig { return n.cfg }
 
 // TotalBytes returns total bytes sent over the network.
 func (n *Network) TotalBytes() int64 { return n.bytes }
+
+// Degrade perturbs one node's NIC: latAdd is added to the one-way latency of
+// every message the node sends or receives, and the node's egress bandwidth
+// is multiplied by bwMul (> 0). Fault injectors revert a degradation by
+// calling Degrade again with (-latAdd, 1/bwMul); effects compose across
+// overlapping windows. On-node (local) delivery is unaffected.
+func (n *Network) Degrade(node int, latAdd sim.Time, bwMul float64) {
+	if bwMul <= 0 {
+		panic("hw: bandwidth scale must be positive")
+	}
+	if n.deg == nil {
+		n.deg = make(map[int]*netDegrade)
+	}
+	d := n.deg[node]
+	if d == nil {
+		d = &netDegrade{bwScale: 1}
+		n.deg[node] = d
+	}
+	d.latency += latAdd
+	d.bwScale *= bwMul
+}
 
 // segmentBytes is the granularity at which concurrent sends interleave on
 // a NIC, approximating TCP packet multiplexing: a small control message
@@ -62,16 +93,27 @@ func (n *Network) Send(e *sim.Env, from, to *Node, bytes int64) {
 		e.Sleep(d)
 		return
 	}
+	bw := n.cfg.BandwidthBps
+	lat := n.cfg.Latency
+	if n.deg != nil {
+		if d := n.deg[from.ID]; d != nil {
+			bw *= d.bwScale
+			lat += d.latency
+		}
+		if d := n.deg[to.ID]; d != nil {
+			lat += d.latency
+		}
+	}
 	for sent := int64(0); sent < bytes; sent += segmentBytes {
 		seg := bytes - sent
 		if seg > segmentBytes {
 			seg = segmentBytes
 		}
 		from.egress.Acquire(e)
-		e.Sleep(sim.Time(float64(seg) / n.cfg.BandwidthBps))
+		e.Sleep(sim.Time(float64(seg) / bw))
 		from.egress.Release()
 	}
-	e.Sleep(n.cfg.Latency)
+	e.Sleep(lat)
 	n.bytes += bytes
 }
 

@@ -65,6 +65,7 @@ type Device struct {
 	res            *sim.Resource
 	active         int
 	penalty        float64
+	slow           float64 // fault-injected cost multiplier (1 = healthy)
 	busy           sim.Time
 	intervals      []Interval
 	recordInterval bool
@@ -78,9 +79,25 @@ func NewDevice(k *sim.Kernel, kind Kind, index int) *Device {
 		Index:          index,
 		k:              k,
 		res:            sim.NewResource(k, 1),
+		slow:           1,
 		recordInterval: true,
 	}
 }
+
+// ScaleCost multiplies the device's cost multiplier by f (> 0), modeling a
+// transient slowdown (thermal throttling, a co-located job, a flaky board).
+// Fault injectors apply a factor at a window's start and its reciprocal at
+// the end; factors compose multiplicatively across overlapping windows. The
+// multiplier is sampled when a task starts running.
+func (d *Device) ScaleCost(f float64) {
+	if f <= 0 {
+		panic("hw: cost scale factor must be positive")
+	}
+	d.slow *= f
+}
+
+// CostScale returns the current fault-injected cost multiplier.
+func (d *Device) CostScale() float64 { return d.slow }
 
 // SetRecordIntervals toggles collection of busy intervals (kept on by
 // default; turn off for very large runs if memory matters).
@@ -111,6 +128,7 @@ func (d *Device) Concurrency() int { return d.res.Capacity() }
 func (d *Device) Run(e *sim.Env, dur sim.Time) {
 	d.res.Acquire(e)
 	dur *= sim.Time(1 + d.penalty*float64(d.active))
+	dur *= sim.Time(d.slow) // exact no-op while healthy (slow == 1)
 	d.active++
 	start := e.Now()
 	e.Sleep(dur)

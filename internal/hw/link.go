@@ -51,6 +51,8 @@ type Link struct {
 	inflight int
 	traffic  [2]int64 // bytes moved per direction
 	busy     sim.Time
+	degLat   sim.Time // fault-injected per-transfer latency penalty
+	degBW    float64  // fault-injected bandwidth scale (1 = healthy)
 }
 
 // NewLink creates a PCIe link.
@@ -58,7 +60,18 @@ func NewLink(k *sim.Kernel, cfg LinkConfig) *Link {
 	if cfg.BandwidthBps <= 0 {
 		panic("hw: link bandwidth must be positive")
 	}
-	return &Link{cfg: cfg, engine: sim.NewResource(k, 1)}
+	return &Link{cfg: cfg, engine: sim.NewResource(k, 1), degBW: 1}
+}
+
+// Degrade perturbs the link: latAdd is added to every transfer's setup cost
+// and the DMA bandwidth is multiplied by bwMul (> 0). Fault injectors revert
+// with (-latAdd, 1/bwMul); effects compose across overlapping windows.
+func (l *Link) Degrade(latAdd sim.Time, bwMul float64) {
+	if bwMul <= 0 {
+		panic("hw: bandwidth scale must be positive")
+	}
+	l.degLat += latAdd
+	l.degBW *= bwMul
 }
 
 // Copy transfers bytes in the given direction, blocking the caller until the
@@ -74,8 +87,8 @@ func (l *Link) Copy(e *sim.Env, bytes int64, dir Direction) {
 	// Sample congestion at service start: every other transfer still in
 	// flight (queued behind us or just issued) costs management overhead.
 	extra := float64(l.inflight - 1)
-	wire := sim.Time(float64(bytes)/l.cfg.BandwidthBps) * sim.Time(1+l.cfg.Congestion*extra)
-	d := l.cfg.Latency + wire
+	wire := sim.Time(float64(bytes)/(l.cfg.BandwidthBps*l.degBW)) * sim.Time(1+l.cfg.Congestion*extra)
+	d := l.cfg.Latency + l.degLat + wire
 	start := e.Now()
 	e.Sleep(d)
 	l.engine.Release()

@@ -22,6 +22,13 @@ go test -race -timeout 20m ./...
 echo "== go test ./...  (tier-1 suite + full-report determinism, seeds 1-${ANTHILL_DETERMINISM_SEEDS:-3})"
 ANTHILL_DETERMINISM_SEEDS="${ANTHILL_DETERMINISM_SEEDS:-3}" go test -timeout 40m ./...
 
+echo "== fuzz smoke  (-faults parser and estimator profile decoder)"
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/fault
+go test -run '^$' -fuzz '^FuzzLoadProfile$' -fuzztime 10s ./internal/estimator
+
+echo "== chaos determinism  (serial vs 4-worker fault-injection sweeps, seeds 1-3)"
+go test -run '^TestChaosDeterminism$' -timeout 20m ./internal/experiments
+
 if [ -z "${SKIP_BENCH:-}" ]; then
     echo "== benchsweep  (regenerates BENCH_sweep.json)"
     go run ./cmd/benchsweep -o BENCH_sweep.json
