@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep check verify
+.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism check verify
 
 all: build
 
@@ -33,9 +33,22 @@ fuzz-smoke:
 bench-sweep:
 	$(GO) run ./cmd/benchsweep -o BENCH_sweep.json
 
+# Same-seed observability captures must be byte-identical: run the fig7
+# capture twice through the CLI and compare the trace + metrics artifacts.
+trace-determinism:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/anthill-sim -exp fig7 -seed 1 -o /dev/null \
+	    -trace "$$dir/a.trace.json" -metrics-out "$$dir/a.metrics.json"; \
+	$(GO) run ./cmd/anthill-sim -exp fig7 -seed 1 -o /dev/null \
+	    -trace "$$dir/b.trace.json" -metrics-out "$$dir/b.metrics.json"; \
+	cmp "$$dir/a.trace.json" "$$dir/b.trace.json" && \
+	cmp "$$dir/a.metrics.json" "$$dir/b.metrics.json" && \
+	echo "trace-determinism: byte-identical"
+
 # Mid-weight verification: vet + tier-1 tests + fuzz smoke + the chaos
-# fault-injection determinism check (serial vs 4 workers, seeds 1-3).
-verify: vet test fuzz-smoke
+# fault-injection determinism check (serial vs 4 workers, seeds 1-3) + the
+# trace/metrics capture byte-identity gate.
+verify: vet test fuzz-smoke trace-determinism
 	$(GO) test -run '^TestChaosDeterminism$$' -timeout 20m ./internal/experiments
 
 # Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,

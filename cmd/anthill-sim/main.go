@@ -5,6 +5,7 @@
 //
 //	anthill-sim [-exp all|table1|fig6|...] [-full] [-seed N] [-o FILE]
 //	anthill-sim -exp chaos [-faults SPEC]
+//	anthill-sim -exp fig7 -trace trace.json -metrics-out metrics.json
 //
 // With -exp all (the default) it writes a complete EXPERIMENTS.md-style
 // report; with a single experiment ID it prints just that section. -full
@@ -13,6 +14,12 @@
 // shape and finishes in a few minutes. -faults replaces the chaos
 // experiment's random intensity sweep with a scripted fault schedule (see
 // the fault-spec syntax in README.md or internal/fault).
+//
+// -trace and -metrics-out attach the observability layer (internal/obs,
+// internal/trace) to a representative run of the chosen experiment and
+// write a Chrome trace-event JSON file (open in ui.perfetto.dev or
+// chrome://tracing) and a metrics-registry JSON dump. Both require a
+// single -exp and are byte-identical across runs with the same -seed.
 package main
 
 import (
@@ -40,8 +47,15 @@ func main() {
 		parallel = flag.Bool("parallel", true, "run independent sweep points on all cores (output is byte-identical to serial)")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, or the ANTHILL_WORKERS env var)")
 		faults   = flag.String("faults", "", "scripted fault schedule for -exp chaos, e.g. 'slow:node=0,at=100ms,for=500ms,x=4;crash:filter=nbia,inst=3,at=200ms'")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON capture of the experiment to this file (view in ui.perfetto.dev; requires a single -exp)")
+		metrOut  = flag.String("metrics-out", "", "write the experiment's metrics-registry JSON to this file (requires a single -exp)")
 	)
 	flag.Parse()
+
+	if (*traceOut != "" || *metrOut != "") && *exp == "all" {
+		fmt.Fprintln(os.Stderr, "anthill-sim: -trace/-metrics-out need a single experiment (-exp ID)")
+		os.Exit(1)
+	}
 
 	if *faults != "" {
 		if _, err := fault.Parse(*faults); err != nil {
@@ -68,7 +82,10 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Full: *full, Seed: *seed, FaultSpec: *faults}
+	cfg := experiments.Config{
+		Full: *full, Seed: *seed, FaultSpec: *faults,
+		Observe: *traceOut != "" || *metrOut != "",
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -102,7 +119,11 @@ func main() {
 	}
 	failed := 0
 	var summaries []jsonReport
+	var capture *experiments.ObsCapture
 	for _, rep := range experiments.RunMany(cfg, toRun) {
+		if rep.Obs != nil {
+			capture = rep.Obs
+		}
 		fmt.Fprint(w, rep.Render())
 		js := jsonReport{ID: rep.ID, Title: rep.Title, PaperRef: rep.PaperRef, Passed: rep.Passed()}
 		for _, c := range rep.Checks {
@@ -121,6 +142,24 @@ func main() {
 				rep.Series, 760, 420)
 			path := filepath.Join(*svgDir, rep.ID+".svg")
 			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if cfg.Observe {
+		if capture == nil {
+			fmt.Fprintf(os.Stderr, "anthill-sim: experiment %q has no observability capture\n", *exp)
+			os.Exit(1)
+		}
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, capture.Trace, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+				os.Exit(1)
+			}
+		}
+		if *metrOut != "" {
+			if err := os.WriteFile(*metrOut, capture.Metrics, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
 				os.Exit(1)
 			}

@@ -97,6 +97,10 @@ type Config struct {
 	// Faults is an optional fault schedule injected into the run (chaos
 	// experiments); nil or empty changes nothing.
 	Faults *fault.Schedule
+	// Hooks, when set, is called with the runtime after the filter graph
+	// is wired and before the run starts — the place to attach hook-bus
+	// subscribers (obs.Registry, trace.ChromeLog). Nil changes nothing.
+	Hooks func(rt *core.Runtime)
 }
 
 // Result of an NBIA run.
@@ -402,6 +406,9 @@ func Run(cfg Config) (*Result, error) {
 		rt.Connect(readers, worker, cfg.Policy)
 	}
 
+	if cfg.Hooks != nil {
+		cfg.Hooks(rt)
+	}
 	if cfg.Faults != nil {
 		if err := fault.Apply(rt, cfg.Faults); err != nil {
 			return nil, fmt.Errorf("nbia: %w", err)

@@ -72,8 +72,10 @@ type Result struct {
 	FinalStreams int
 }
 
-// chunkTask builds the transfer/compute description of one chunk.
-func chunkTask(ints int64) *task.Task {
+// ChunkTask builds the transfer/compute description of one chunk of the
+// incrementer vector (exported for the fig7 observability capture, which
+// replays the VI workload on the core runtime).
+func ChunkTask(ints int64) *task.Task {
 	t := &task.Task{
 		Size:    4 * ints,
 		OutSize: 4 * ints,
@@ -126,7 +128,7 @@ func Run(cfg Config) Result {
 				if remaining == 1 && cfg.VectorInts%cfg.ChunkInts != 0 {
 					ints = cfg.VectorInts % cfg.ChunkInts
 				}
-				batch[i] = chunkTask(ints)
+				batch[i] = ChunkTask(ints)
 				remaining--
 			}
 			dur := exec.RunBatch(e, batch)

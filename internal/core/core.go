@@ -180,6 +180,7 @@ func (tr *tracker) adjust(now sim.Time, delta int64) {
 type ProcRecord struct {
 	TaskID     uint64
 	Filter     string
+	Instance   int
 	NodeID     int
 	Kind       hw.Kind
 	Start, End sim.Time
@@ -245,11 +246,17 @@ type Runtime struct {
 	idgen   uint64
 	ran     bool
 
-	// OnProcess, if set, is called after every processed event.
+	// OnProcess, if set, is called after every processed event. It predates
+	// the hook bus and is kept for compatibility; new subscribers should
+	// use Hooks.Process.
 	OnProcess func(ProcRecord)
 	// OnTarget, if set, is called whenever DQAA changes a worker's target
-	// request size.
+	// request size. Kept for compatibility; new subscribers should use
+	// Hooks.Target.
 	OnTarget func(TargetRecord)
+	// Hooks is the runtime's hook bus (see Bus). All hooks are nil by
+	// default; set them before Run.
+	Hooks Bus
 }
 
 // New creates a runtime over a cluster. The estimator may be nil, in which

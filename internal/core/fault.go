@@ -48,6 +48,11 @@ func (rt *Runtime) CrashInstance(e *sim.Env, f *Filter, idx int) {
 	}
 	inst.dead = true
 	inst.diedAt = e.Now()
+	rt.EmitFault(FaultRecord{
+		Kind: "crash", Phase: "crash", At: e.Now(), Node: inst.node.ID,
+		Filter: f.Name(), Instance: idx,
+		Detail: fmt.Sprintf("crash:filter=%s,inst=%d", f.Name(), idx),
+	})
 	// Evacuate delivered-but-unprocessed input buffers back upstream.
 	for qi, is := range inst.inputs {
 		for {
@@ -55,6 +60,7 @@ func (rt *Runtime) CrashInstance(e *sim.Env, f *Filter, idx int) {
 			if t == nil {
 				break
 			}
+			inst.noteInputDepth(qi)
 			if fs, ok := inst.fetcher[t.ID]; ok {
 				delete(inst.fetcher, t.ID)
 				fs.requestSize--
@@ -76,12 +82,13 @@ func (rt *Runtime) CrashInstance(e *sim.Env, f *Filter, idx int) {
 			}
 		}
 		rr := 0
-		drain := func(q *policy.Queue) {
+		drain := func(q *policy.Queue, part int) {
 			for {
 				t := q.PopFor(hw.CPU)
 				if t == nil {
 					break
 				}
+				inst.out.noteDepth(part)
 				if len(sibs) == 0 {
 					panic(fmt.Sprintf("core: crash of %s/%d strands output buffers: no live sibling",
 						f.Name(), idx))
@@ -93,9 +100,9 @@ func (rt *Runtime) CrashInstance(e *sim.Env, f *Filter, idx int) {
 				rr++
 			}
 		}
-		drain(inst.out.queue)
-		for _, p := range inst.out.parts {
-			drain(p)
+		drain(inst.out.queue, -1)
+		for pi, p := range inst.out.parts {
+			drain(p, pi)
 		}
 	}
 	inst.wakeAll()

@@ -63,10 +63,13 @@ type generator struct {
 func (s *sender) push(t *task.Task) {
 	if s.parts != nil {
 		stream := s.inst.f.out
-		s.parts[int(stream.labelFn(t)%uint64(len(s.parts)))].Push(t)
+		pi := int(stream.labelFn(t) % uint64(len(s.parts)))
+		s.parts[pi].Push(t)
+		s.noteDepth(pi)
 		return
 	}
 	s.queue.Push(t)
+	s.noteDepth(-1)
 }
 
 // refill tops the send queue up to the generator's watermark of fresh
@@ -90,13 +93,17 @@ func (s *sender) refill(now sim.Time) {
 // labeled streams, the requesting instance's partition), maintaining the
 // generator's fresh-buffer accounting.
 func (s *sender) popFor(req *request) *task.Task {
-	q := s.queue
+	q, pi := s.queue, -1
 	if s.parts != nil {
-		q = s.parts[req.fromInst%len(s.parts)]
+		pi = req.fromInst % len(s.parts)
+		q = s.parts[pi]
 	}
 	t := q.PopFor(req.kind)
-	if t != nil && s.gen != nil {
-		delete(s.gen.fresh, t.ID)
+	if t != nil {
+		if s.gen != nil {
+			delete(s.gen.fresh, t.ID)
+		}
+		s.noteDepth(pi)
 	}
 	return t
 }
@@ -119,6 +126,7 @@ func (s *sender) run(e *sim.Env) {
 		if t := s.popFor(req); t != nil {
 			rep = reply{t: t}
 			s.inst.f.out.stats.sent++
+			s.noteSend(req.fromInst, t.ID, t.Size, false)
 		} else if rt.track.done.Fired() {
 			rep = reply{eof: true}
 		}
@@ -152,8 +160,11 @@ func (s *sender) runPush(e *sim.Env) {
 	for !rt.track.done.Fired() && !s.inst.dead {
 		s.refill(e.Now())
 		t := s.queue.PopFor(hw.CPU) // FIFO pop: kind is irrelevant
-		if t != nil && s.gen != nil {
-			delete(s.gen.fresh, t.ID)
+		if t != nil {
+			if s.gen != nil {
+				delete(s.gen.fresh, t.ID)
+			}
+			s.noteDepth(-1)
 		}
 		if t == nil {
 			e.Sleep(backoff)
@@ -185,6 +196,8 @@ func (s *sender) runPush(e *sim.Env) {
 		}
 		dst.inputs[qi].queue.Push(t)
 		stream.stats.delivered++
+		s.noteSend(dst.idx, t.ID, t.Size, true)
+		dst.noteInputDepth(qi)
 		dst.taskAvail.NotifyAll()
 	}
 }
@@ -338,6 +351,21 @@ func (inst *Instance) buildWorkers() {
 				exec: xfer.NewExecutor(inst.node.GPU, inst.node.Link, spec.AsyncCopy),
 				ctrl: xfer.NewController(spec.MaxConcurrentCopies),
 			}
+			if hook := inst.rt.Hooks.Span; hook != nil {
+				w := w
+				w.exec.OnSpan = func(sp xfer.Span) {
+					hook(SpanRecord{
+						Filter:   w.inst.f.Name(),
+						Instance: w.inst.idx,
+						Worker:   w.name(),
+						NodeID:   w.inst.node.ID,
+						Kind:     sp.Kind,
+						Start:    sp.Start,
+						End:      sp.End,
+						Bytes:    sp.Bytes,
+					})
+				}
+			}
 			inst.workers = append(inst.workers, w)
 			tid++
 		}
@@ -416,6 +444,7 @@ func (w *worker) tryPop() (*task.Task, *reqState, int) {
 		qi := (inst.rrQueue + i) % n
 		if t := inst.inputs[qi].queue.PopFor(w.kind); t != nil {
 			inst.rrQueue = (qi + 1) % n
+			inst.noteInputDepth(qi)
 			if fs, ok := inst.fetcher[t.ID]; ok {
 				delete(inst.fetcher, t.ID)
 				fs.requestSize--
@@ -465,6 +494,7 @@ func (w *worker) tryPopAtLeast(minKey float64) (*task.Task, *reqState, int) {
 		}
 		if t := q.PopFor(w.kind); t != nil {
 			inst.rrQueue = (qi + 1) % n
+			inst.noteInputDepth(qi)
 			if fs, ok := inst.fetcher[t.ID]; ok {
 				delete(inst.fetcher, t.ID)
 				fs.requestSize--
@@ -565,8 +595,8 @@ func (w *worker) afterProcess(e *sim.Env, st *reqState, timeToProcess sim.Time) 
 	old := st.dqaa.Target()
 	nt := st.dqaa.Observe(st.lastLatency, timeToProcess)
 	if nt != old {
-		if w.inst.rt.OnTarget != nil {
-			w.inst.rt.OnTarget(TargetRecord{
+		if w.inst.rt.wantTarget() {
+			w.inst.rt.emitTarget(TargetRecord{
 				Filter:   w.inst.f.Name(),
 				Instance: w.inst.idx,
 				Worker:   w.name(),
@@ -610,16 +640,17 @@ func (w *worker) finish(e *sim.Env, t *task.Task, start sim.Time) {
 		rt.track.adjust(now, int64(created))
 	}
 	rt.track.adjust(now, -1)
-	if rt.OnProcess != nil {
-		rt.OnProcess(ProcRecord{
-			TaskID:  t.ID,
-			Filter:  w.inst.f.Name(),
-			NodeID:  w.inst.node.ID,
-			Kind:    w.kind,
-			Start:   start,
-			End:     now,
-			Params:  t.Params,
-			Payload: t.Payload,
+	if rt.wantProcess() {
+		rt.emitProcess(ProcRecord{
+			TaskID:   t.ID,
+			Filter:   w.inst.f.Name(),
+			Instance: w.inst.idx,
+			NodeID:   w.inst.node.ID,
+			Kind:     w.kind,
+			Start:    start,
+			End:      now,
+			Params:   t.Params,
+			Payload:  t.Payload,
 		})
 	}
 }
@@ -693,6 +724,7 @@ func (w *worker) requester(e *sim.Env, qi int) {
 			continue
 		}
 		st.requestSize++ // in transit counts toward the target
+		w.noteDemand(e.Now(), qi, DemandIssued, st.requestSize)
 		fetch := func(fe *sim.Env) {
 			t0 := fe.Now()
 			replyCh := sim.NewChan[reply](rt.K, 1)
@@ -703,6 +735,7 @@ func (w *worker) requester(e *sim.Env, qi int) {
 			case !ok || rep.eof:
 				eof = true
 				st.requestSize--
+				w.noteDemand(fe.Now(), qi, DemandEOF, st.requestSize)
 			case rep.t != nil && inst.dead:
 				// We crashed while the buffer was in flight: hand it back to
 				// a surviving upstream sender for redelivery elsewhere.
@@ -715,12 +748,15 @@ func (w *worker) requester(e *sim.Env, qi int) {
 				inst.fetcher[rep.t.ID] = st
 				inst.inputs[qi].queue.Push(rep.t)
 				stream.stats.delivered++
+				w.noteDemand(fe.Now(), qi, DemandData, st.requestSize)
+				inst.noteInputDepth(qi)
 				inst.taskAvail.NotifyAll()
 				backoff = minBackoff
 				emptyStreak = 0
 			default: // empty reply: nothing in transit after all
 				st.requestSize--
 				emptyStreak++
+				w.noteDemand(fe.Now(), qi, DemandEmpty, st.requestSize)
 			}
 			inst.demand.NotifyAll() // let the issuing loop reassess
 		}

@@ -28,6 +28,13 @@ type Config struct {
 	// intensity sweep with this scripted -faults schedule (see fault.Parse).
 	// Other experiments ignore it.
 	FaultSpec string
+	// Observe additionally runs one small representative configuration of
+	// each supported experiment with the full observability layer attached
+	// (Chrome trace-event log + metrics registry) and stores the rendered
+	// artifacts in Report.Obs. The capture is a separate run executed after
+	// the sweep, so the report body stays byte-identical with and without
+	// it. See anthill-sim's -trace/-metrics-out flags.
+	Observe bool
 }
 
 // Check is one qualitative assertion about an experiment's outcome.
@@ -51,6 +58,10 @@ type Report struct {
 	Series []metrics.Series
 	// Checks are the evaluated shape assertions.
 	Checks []Check
+	// Obs holds the observability capture when Config.Observe is set and
+	// the experiment supports one (see RunCapture); nil otherwise. It is
+	// not part of Render — anthill-sim writes it to separate files.
+	Obs *ObsCapture
 }
 
 // Passed reports whether every check passed.

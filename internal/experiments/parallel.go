@@ -41,6 +41,16 @@ func SweepMap[T any](n int, fn func(i int) T) []T { return parallel.SweepMap(n, 
 // and returns their reports in input order. Experiments are coarse and few,
 // so they share the same pool machinery; with Workers() == 1 everything
 // runs inline, which is the serial reference path.
+//
+// With cfg.Observe set, the observability captures run serially here,
+// after every sweep has drained: capture output order and content never
+// depend on the worker-pool size.
 func RunMany(cfg Config, exps []Experiment) []*Report {
-	return SweepMap(len(exps), func(i int) *Report { return exps[i].Run(cfg) })
+	reps := SweepMap(len(exps), func(i int) *Report { return exps[i].Run(cfg) })
+	if cfg.Observe {
+		for _, rep := range reps {
+			rep.Obs = RunCapture(cfg, rep.ID)
+		}
+	}
+	return reps
 }

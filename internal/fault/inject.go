@@ -34,6 +34,7 @@ func Apply(rt *core.Runtime, s *Schedule) error {
 			devs := slowTargets(rt, ev)
 			rt.K.Spawn(name, func(e *sim.Env) {
 				e.Sleep(ev.At)
+				emitWindow(rt, e, ev, "slow", "begin")
 				for _, d := range devs {
 					d.ScaleCost(ev.Factor)
 				}
@@ -41,22 +42,27 @@ func Apply(rt *core.Runtime, s *Schedule) error {
 				for _, d := range devs {
 					d.ScaleCost(1 / ev.Factor)
 				}
+				emitWindow(rt, e, ev, "slow", "end")
 			})
 		case Net:
 			net := rt.Cluster.Net
 			rt.K.Spawn(name, func(e *sim.Env) {
 				e.Sleep(ev.At)
+				emitWindow(rt, e, ev, "net", "begin")
 				net.Degrade(ev.Node, ev.Latency, ev.Factor)
 				e.Sleep(ev.Dur)
 				net.Degrade(ev.Node, -ev.Latency, 1/ev.Factor)
+				emitWindow(rt, e, ev, "net", "end")
 			})
 		case PCIe:
 			link := rt.Cluster.Nodes[ev.Node].Link
 			rt.K.Spawn(name, func(e *sim.Env) {
 				e.Sleep(ev.At)
+				emitWindow(rt, e, ev, "pcie", "begin")
 				link.Degrade(ev.Latency, ev.Factor)
 				e.Sleep(ev.Dur)
 				link.Degrade(-ev.Latency, 1/ev.Factor)
+				emitWindow(rt, e, ev, "pcie", "end")
 			})
 		case Crash:
 			f, _ := rt.FilterByName(ev.Filter) // existence checked in validate
@@ -67,6 +73,15 @@ func Apply(rt *core.Runtime, s *Schedule) error {
 		}
 	}
 	return nil
+}
+
+// emitWindow publishes a windowed hardware fault's begin/end on the
+// runtime's hook bus (crash events fire from core.CrashInstance instead).
+func emitWindow(rt *core.Runtime, e *sim.Env, ev Event, kind, phase string) {
+	rt.EmitFault(core.FaultRecord{
+		Kind: kind, Phase: phase, At: e.Now(), Node: ev.Node,
+		Instance: -1, Detail: ev.String(),
+	})
 }
 
 // validate checks one event against the runtime's topology; crashes

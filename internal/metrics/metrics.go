@@ -15,7 +15,10 @@ import (
 )
 
 // Utilization buckets a device's busy intervals over [0, horizon) into n
-// equal bins, each value in [0, 1].
+// equal bins, each value in [0, 1]. Each interval touches only the bins it
+// overlaps, so the cost is O(intervals + touched bins) rather than
+// O(intervals × n) — long fine-grained traces rendered at high bin counts
+// used to make this quadratic.
 func Utilization(intervals []hw.Interval, horizon sim.Time, n int) []float64 {
 	out := make([]float64, n)
 	if horizon <= 0 || n <= 0 {
@@ -23,7 +26,24 @@ func Utilization(intervals []hw.Interval, horizon sim.Time, n int) []float64 {
 	}
 	bin := horizon / sim.Time(n)
 	for _, iv := range intervals {
-		for b := 0; b < n; b++ {
+		if iv.End <= 0 || iv.Start >= sim.Time(n)*bin || iv.End <= iv.Start {
+			continue
+		}
+		// Bin index range touched by the interval, widened by one on each
+		// side: float division may round across a bin boundary, and a bin
+		// the interval doesn't actually overlap contributes exactly 0
+		// below, so widening preserves bit-identical results while keeping
+		// the scan O(overlap).
+		b0, b1 := 0, n-1
+		if iv.Start > 0 {
+			if b := int(iv.Start/bin) - 1; b > b0 {
+				b0 = b
+			}
+		}
+		if b := int(iv.End/bin) + 1; b < b1 {
+			b1 = b
+		}
+		for b := b0; b <= b1; b++ {
 			lo := sim.Time(b) * bin
 			hi := lo + bin
 			s, e := iv.Start, iv.End

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// utilizationRef is the pre-optimization reference implementation: every
+// interval scans every bin. Kept as the oracle for the equivalence test.
+func utilizationRef(intervals []hw.Interval, horizon sim.Time, n int) []float64 {
+	out := make([]float64, n)
+	if horizon <= 0 || n <= 0 {
+		return out
+	}
+	bin := horizon / sim.Time(n)
+	for _, iv := range intervals {
+		for b := 0; b < n; b++ {
+			lo := sim.Time(b) * bin
+			hi := lo + bin
+			s, e := iv.Start, iv.End
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				out[b] += float64((e - s) / bin)
+			}
+		}
+	}
+	return out
+}
+
+// TestUtilizationPastHorizon is the regression test for the bin-range
+// computation: an interval extending past the horizon must fill the last
+// bin and contribute nothing else (and must not panic or mis-index).
+func TestUtilizationPastHorizon(t *testing.T) {
+	ivs := []hw.Interval{{Start: 9, End: 17}} // horizon 10, runs 7s past it
+	u := Utilization(ivs, 10, 4)
+	want := []float64{0, 0, 0, 0.4} // busy [9, 10) of bin [7.5, 10)
+	for i := range want {
+		if diff := u[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("u = %v, want %v", u, want)
+		}
+	}
+	// Entirely past the horizon: contributes nothing.
+	if u := Utilization([]hw.Interval{{Start: 12, End: 15}}, 10, 4); u[3] != 0 {
+		t.Fatalf("interval past horizon leaked into bins: %v", u)
+	}
+	// Ending exactly on the horizon: fine too.
+	u = Utilization([]hw.Interval{{Start: 7.5, End: 10}}, 10, 4)
+	if diff := u[3] - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("interval ending on horizon: %v", u)
+	}
+}
+
+// TestUtilizationMatchesReference checks the touched-bin-range fast path is
+// bit-identical to the all-bins reference over randomized traces, including
+// intervals that start before 0, end past the horizon, or have zero length.
+func TestUtilizationMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(37)
+		horizon := sim.Time(rng.Float64()*100 + 0.1)
+		ivs := make([]hw.Interval, rng.Intn(50))
+		for i := range ivs {
+			start := sim.Time(rng.Float64()*120) - 10
+			ivs[i] = hw.Interval{Start: start, End: start + sim.Time(rng.Float64()*20)}
+			if rng.Intn(10) == 0 {
+				ivs[i].End = ivs[i].Start // zero-length
+			}
+		}
+		got := Utilization(ivs, horizon, n)
+		want := utilizationRef(ivs, horizon, n)
+		for b := range want {
+			if got[b] != want[b] {
+				t.Fatalf("trial %d bin %d: got %v, want %v (n=%d horizon=%v ivs=%v)",
+					trial, b, got[b], want[b], n, horizon, ivs)
+			}
+		}
+	}
+}
+
+// BenchmarkUtilization measures the dense case the O(intervals × bins)
+// implementation was quadratic on: many short intervals, many bins.
+func BenchmarkUtilization(b *testing.B) {
+	const nIvs, bins = 10_000, 1_000
+	horizon := sim.Time(100)
+	ivs := make([]hw.Interval, nIvs)
+	for i := range ivs {
+		start := horizon * sim.Time(i) / nIvs
+		ivs[i] = hw.Interval{Start: start, End: start + horizon/(2*nIvs)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Utilization(ivs, horizon, bins)
+	}
+}

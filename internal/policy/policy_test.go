@@ -286,3 +286,24 @@ func TestPeekKeySkipsTombstonesSorted(t *testing.T) {
 		t.Fatalf("peek = %v, %v", key, ok)
 	}
 }
+
+// TestPolicyStringRoundTrip pins the canonical string of every policy
+// constructor. RR-push regression: push streams have no demand signal, so
+// the string must say "push", not leak the struct-default "req=1".
+func TestPolicyStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		pol  StreamPolicy
+		want string
+	}{
+		{DDFCFS(4), "DDFCFS(req=4)"},
+		{DDFCFS(16), "DDFCFS(req=16)"},
+		{DDWRR(32), "DDWRR(req=32)"},
+		{ODDS(), "ODDS(dynamic)"},
+		{RRPush(), "RR-push(push)"},
+	}
+	for _, c := range cases {
+		if got := c.pol.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

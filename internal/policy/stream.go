@@ -37,10 +37,17 @@ type StreamPolicy struct {
 }
 
 func (p StreamPolicy) String() string {
-	if p.Dynamic {
+	switch {
+	case p.Push:
+		// Push streams have no demand signal, so a request size would be
+		// meaningless (RRPush carries RequestSize 1 only as a struct
+		// default) — print the mode, not a bogus "req=1".
+		return fmt.Sprintf("%s(push)", p.Name)
+	case p.Dynamic:
 		return fmt.Sprintf("%s(dynamic)", p.Name)
+	default:
+		return fmt.Sprintf("%s(req=%d)", p.Name, p.RequestSize)
 	}
-	return fmt.Sprintf("%s(req=%d)", p.Name, p.RequestSize)
 }
 
 // DDFCFS is the demand-driven first-come-first-served stream policy:

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// runChrome executes a small GPU pipeline with a ChromeLog attached and
+// returns the rendered trace bytes.
+func runChrome(t *testing.T) []byte {
+	t.Helper()
+	k := sim.NewKernel(42)
+	// Source and worker on different nodes: network transit gives data
+	// requests a real latency, so DQAA moves its target off the floor.
+	c := hw.NewCluster(k, []hw.NodeSpec{
+		{CPUCores: 2},
+		{CPUCores: 2, HasGPU: true},
+	}, nil)
+	rt := core.New(c, nil)
+	log := &ChromeLog{}
+	log.Attach(rt)
+	src := rt.AddFilter(core.FilterSpec{
+		Name: "source", Placement: []int{0},
+		SourceCount: func(int) int { return 200 },
+		SourceMake: func(_, i int) *task.Task {
+			// Processing is much cheaper than fetching a buffer across the
+			// network, so DQAA raises its target off the floor.
+			cost := sim.Time(10+i%7) * sim.Microsecond
+			return &task.Task{
+				Size: 1 << 20, OutSize: 1 << 10,
+				Cost: func(hw.Kind) sim.Time { return cost },
+			}
+		},
+	})
+	wf := rt.AddFilter(core.FilterSpec{
+		Name: "worker", Placement: []int{1}, CPUWorkers: 1,
+		UseGPU: true, AsyncCopy: true,
+		Handler: func(ctx *core.Ctx, tk *task.Task) core.Action { return core.Action{} },
+	})
+	rt.Connect(src, wf, policy.ODDS())
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	log.AddCluster(c)
+	var buf bytes.Buffer
+	if err := log.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	raw := runChrome(t)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	threads := map[string]bool{}
+	phases := map[string]int{}
+	counters := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "M":
+			if e["name"] == "thread_name" {
+				args := e["args"].(map[string]any)
+				threads[args["name"].(string)] = true
+			}
+		case "C":
+			name, _ := e["name"].(string)
+			counters[name[:4]] = true
+		case "X":
+			if _, ok := e["ts"].(float64); !ok {
+				t.Fatalf("X event without numeric ts: %v", e)
+			}
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("X event without numeric dur: %v", e)
+			}
+		}
+	}
+	for _, want := range []string{
+		"dev n0/CPU0", "dev n1/GPU0", // device tracks
+		"worker/0",                                         // filter-instance track
+		"worker/0 h2d", "worker/0 kernel", "worker/0 d2h", // pipeline lanes
+		"counters",
+	} {
+		if !threads[want] {
+			t.Errorf("missing thread track %q (have %v)", want, threads)
+		}
+	}
+	if !counters["dqaa"] {
+		t.Error("missing DQAA target counter events")
+	}
+	if !counters["queu"] {
+		t.Error("missing queue-depth counter events")
+	}
+	if phases["X"] == 0 || phases["C"] == 0 || phases["M"] == 0 {
+		t.Fatalf("phase histogram incomplete: %v", phases)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	a := runChrome(t)
+	b := runChrome(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs produced different trace bytes")
+	}
+}
+
+// TestChromeFaultInstant checks crash faults render as instant events.
+func TestChromeFaultInstant(t *testing.T) {
+	log := &ChromeLog{}
+	rt := &core.Runtime{}
+	log.Attach(rt)
+	rt.Hooks.Fault(core.FaultRecord{
+		Kind: "crash", Phase: "crash", At: 0.5, Node: 1,
+		Filter: "w", Instance: 0, Detail: "crash:filter=w,inst=0",
+	})
+	var buf bytes.Buffer
+	if err := log.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "I" && e["name"] == "crash crash" {
+			found = true
+			if e["pid"].(float64) != 2 {
+				t.Fatalf("crash instant on pid %v, want node process 2", e["pid"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no instant event for the crash fault")
+	}
+}

@@ -17,6 +17,51 @@ type Executor struct {
 	Dev   *hw.Device
 	Link  *hw.Link
 	Async bool
+	// OnSpan, if set, is called after every pipeline span — one
+	// host-to-device copy, one kernel execution, or one device-to-host
+	// copy — with the span's virtual-time bounds. Nil costs nothing.
+	OnSpan func(Span)
+}
+
+// SpanKind classifies a transfer-pipeline span.
+type SpanKind int
+
+const (
+	// SpanH2D is a host-to-device input copy.
+	SpanH2D SpanKind = iota
+	// SpanKernel is a kernel execution on the device.
+	SpanKernel
+	// SpanD2H is a device-to-host output copy.
+	SpanD2H
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanH2D:
+		return "h2d"
+	case SpanKernel:
+		return "kernel"
+	case SpanD2H:
+		return "d2h"
+	default:
+		return "span"
+	}
+}
+
+// Span is one timed step of the transfer pipeline.
+type Span struct {
+	Kind  SpanKind
+	Start sim.Time
+	End   sim.Time
+	// Bytes is the transfer size; 0 for kernel spans.
+	Bytes int64
+}
+
+// span reports one completed step to the OnSpan subscriber.
+func (x *Executor) span(kind SpanKind, start, end sim.Time, bytes int64) {
+	if x.OnSpan != nil {
+		x.OnSpan(Span{Kind: kind, Start: start, End: end, Bytes: bytes})
+	}
 }
 
 // NewExecutor creates an executor for one GPU and its link.
@@ -48,9 +93,15 @@ func (x *Executor) runSync(e *sim.Env, batch []*task.Task) {
 	// completion before launching the kernel, and the GPU sits idle during
 	// both copies.
 	for _, t := range batch {
+		t0 := e.Now()
 		x.Link.Copy(e, t.Size, hw.HostToDevice)
+		t1 := e.Now()
+		x.span(SpanH2D, t0, t1, t.Size)
 		x.Dev.Run(e, t.Cost(hw.GPU))
+		t2 := e.Now()
+		x.span(SpanKernel, t1, t2, 0)
 		x.Link.Copy(e, t.OutSize, hw.DeviceToHost)
+		x.span(SpanD2H, t2, e.Now(), t.OutSize)
 	}
 }
 
@@ -63,7 +114,9 @@ func (x *Executor) runAsync(e *sim.Env, batch []*task.Task) {
 		inDone[i] = sig
 		size := t.Size
 		e.Spawn("h2d", func(ce *sim.Env) {
+			t0 := ce.Now()
 			x.Link.Copy(ce, size, hw.HostToDevice)
+			x.span(SpanH2D, t0, ce.Now(), size)
 			sig.Fire()
 		})
 	}
@@ -71,7 +124,9 @@ func (x *Executor) runAsync(e *sim.Env, batch []*task.Task) {
 	// event i+1 overlaps the kernel of event i.
 	for i, t := range batch {
 		inDone[i].Wait(e)
+		t0 := e.Now()
 		x.Dev.Run(e, t.Cost(hw.GPU))
+		x.span(SpanKernel, t0, e.Now(), 0)
 	}
 	// Phase 3: issue every device-to-host copy, then wait for all of them.
 	wg := sim.NewWaitGroup(e.Kernel())
@@ -79,7 +134,9 @@ func (x *Executor) runAsync(e *sim.Env, batch []*task.Task) {
 	for _, t := range batch {
 		size := t.OutSize
 		e.Spawn("d2h", func(ce *sim.Env) {
+			t0 := ce.Now()
 			x.Link.Copy(ce, size, hw.DeviceToHost)
+			x.span(SpanD2H, t0, ce.Now(), size)
 			wg.Done()
 		})
 	}

@@ -1,6 +1,7 @@
 package xfer
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -213,5 +214,91 @@ func TestSyncModeIgnoresBatching(t *testing.T) {
 	}
 	if d := oneBatch - split; d > 1e-12 || d < -1e-12 {
 		t.Fatalf("sync batching changed total time: %v vs %v", oneBatch, split)
+	}
+}
+
+// runSpecBatch executes one batch described by per-task (size, out, cost)
+// specs on a fresh kernel/device/link, so sync and async runs see identical
+// workloads.
+func runSpecBatch(t *testing.T, async bool, specs [][3]int64, cfg hw.LinkConfig) sim.Time {
+	t.Helper()
+	k := sim.NewKernel(1)
+	dev := hw.NewDevice(k, hw.GPU, 0)
+	link := hw.NewLink(k, cfg)
+	ex := NewExecutor(dev, link, async)
+	batch := make([]*task.Task, len(specs))
+	for i, s := range specs {
+		size, out, cost := s[0], s[1], sim.Time(s[2])*sim.Microsecond
+		tk := &task.Task{Size: size, OutSize: out,
+			Cost: func(k hw.Kind) sim.Time { return cost }}
+		tk.SetUniformWeight()
+		batch[i] = tk
+	}
+	var dur sim.Time
+	k.Spawn("gpu", func(e *sim.Env) {
+		dur = ex.RunBatch(e, batch)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return dur
+}
+
+// TestAsyncNeverSlowerThanSyncProperty: on a congestion-free link, the
+// asynchronous pipeline (Algorithm 1) is never slower than synchronous
+// copy-kernel-copy for the same batch — overlap can only help when extra
+// in-flight copies don't degrade the wire. (With congestion > 0 the
+// property is genuinely false: a zero-kernel batch of k transfers pays
+// c·w·k(k-1)/2 extra wire time under concurrent copies, which is why the
+// link here is congestion-free and why Figure 7's curves turn upward.)
+func TestAsyncNeverSlowerThanSyncProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(12)
+		specs := make([][3]int64, n)
+		for i := range specs {
+			specs[i] = [3]int64{
+				1 + rng.Int63n(2_000_000), // h2d bytes
+				rng.Int63n(1_000_000),     // d2h bytes (0 allowed)
+				rng.Int63n(3_000),         // kernel us (0 allowed)
+			}
+		}
+		cfg := hw.LinkConfig{
+			BandwidthBps: 1e8 + rng.Float64()*9e8,
+			Latency:      sim.Time(rng.Int63n(100)) * sim.Microsecond,
+			Congestion:   0,
+		}
+		syncT := runSpecBatch(t, false, specs, cfg)
+		asyncT := runSpecBatch(t, true, specs, cfg)
+		if asyncT > syncT+1e-12 {
+			t.Fatalf("trial %d: async (%v) slower than sync (%v) on congestion-free link; specs=%v cfg=%+v",
+				trial, asyncT, syncT, specs, cfg)
+		}
+	}
+}
+
+// TestAsyncEqualsSyncSingleTask: a single-task batch has nothing to
+// overlap, so both modes execute the identical copy-kernel-copy sequence
+// and must take exactly the same virtual time — on any link, congested or
+// not (one in-flight transfer never pays a congestion penalty).
+func TestAsyncEqualsSyncSingleTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		specs := [][3]int64{{
+			1 + rng.Int63n(4_000_000),
+			rng.Int63n(2_000_000),
+			rng.Int63n(5_000),
+		}}
+		cfg := hw.LinkConfig{
+			BandwidthBps: 1e8 + rng.Float64()*9e8,
+			Latency:      sim.Time(rng.Int63n(200)) * sim.Microsecond,
+			Congestion:   rng.Float64() * 0.1,
+		}
+		syncT := runSpecBatch(t, false, specs, cfg)
+		asyncT := runSpecBatch(t, true, specs, cfg)
+		if asyncT != syncT {
+			t.Fatalf("trial %d: single-task async (%v) != sync (%v); specs=%v cfg=%+v",
+				trial, asyncT, syncT, specs, cfg)
+		}
 	}
 }

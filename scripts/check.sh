@@ -29,6 +29,16 @@ go test -run '^$' -fuzz '^FuzzLoadProfile$' -fuzztime 10s ./internal/estimator
 echo "== chaos determinism  (serial vs 4-worker fault-injection sweeps, seeds 1-3)"
 go test -run '^TestChaosDeterminism$' -timeout 20m ./internal/experiments
 
+echo "== trace determinism  (same-seed -trace/-metrics-out captures must be byte-identical)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/anthill-sim -exp fig7 -seed 1 -o /dev/null \
+    -trace "$tracedir/a.trace.json" -metrics-out "$tracedir/a.metrics.json"
+go run ./cmd/anthill-sim -exp fig7 -seed 1 -o /dev/null \
+    -trace "$tracedir/b.trace.json" -metrics-out "$tracedir/b.metrics.json"
+cmp "$tracedir/a.trace.json" "$tracedir/b.trace.json"
+cmp "$tracedir/a.metrics.json" "$tracedir/b.metrics.json"
+
 if [ -z "${SKIP_BENCH:-}" ]; then
     echo "== benchsweep  (regenerates BENCH_sweep.json)"
     go run ./cmd/benchsweep -o BENCH_sweep.json
