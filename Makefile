@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism check verify
+.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism check verify
 
 all: build
 
@@ -22,11 +22,13 @@ test-short:
 test-race:
 	$(GO) test -race -timeout 20m ./...
 
-# Short fuzz runs of the two decoders with checked-in corpora: the -faults
-# spec parser and the estimator profile loader.
+# Short fuzz runs of the three decoders with checked-in corpora: the
+# -faults spec parser, the estimator profile loader, and the makespan
+# attribution (explain JSON) decoder.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/fault
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadProfile$$' -fuzztime 10s ./internal/estimator
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/span
 
 # Regenerates BENCH_sweep.json: full-report wall time serial vs parallel,
 # points/sec, speedup, byte-identity, and kernel allocs/op.
@@ -45,10 +47,23 @@ trace-determinism:
 	cmp "$$dir/a.metrics.json" "$$dir/b.metrics.json" && \
 	echo "trace-determinism: byte-identical"
 
+# The makespan-attribution artifacts must be deterministic: pooled capture
+# runs under the race detector, plus the fig10 explain JSON byte-identity
+# between a serial and a 4-worker CLI invocation.
+explain-determinism:
+	$(GO) test -race -run '^TestExplain' -timeout 20m ./internal/experiments
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/anthill-sim -exp fig10 -seed 1 -o /dev/null \
+	    -parallel=false -explain-out "$$dir/a.explain.json"; \
+	$(GO) run ./cmd/anthill-sim -exp fig10 -seed 1 -o /dev/null \
+	    -parallel -workers 4 -explain-out "$$dir/b.explain.json"; \
+	cmp "$$dir/a.explain.json" "$$dir/b.explain.json" && \
+	echo "explain-determinism: byte-identical"
+
 # Mid-weight verification: vet + tier-1 tests + fuzz smoke + the chaos
 # fault-injection determinism check (serial vs 4 workers, seeds 1-3) + the
-# trace/metrics capture byte-identity gate.
-verify: vet test fuzz-smoke trace-determinism
+# trace/metrics and explain-artifact byte-identity gates.
+verify: vet test fuzz-smoke trace-determinism explain-determinism
 	$(GO) test -run '^TestChaosDeterminism$$' -timeout 20m ./internal/experiments
 
 # Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,

@@ -6,6 +6,7 @@
 //	anthill-sim [-exp all|table1|fig6|...] [-full] [-seed N] [-o FILE]
 //	anthill-sim -exp chaos [-faults SPEC]
 //	anthill-sim -exp fig7 -trace trace.json -metrics-out metrics.json
+//	anthill-sim -exp fig10 -explain -explain-out explain.json
 //
 // With -exp all (the default) it writes a complete EXPERIMENTS.md-style
 // report; with a single experiment ID it prints just that section. -full
@@ -20,6 +21,15 @@
 // write a Chrome trace-event JSON file (open in ui.perfetto.dev or
 // chrome://tracing) and a metrics-registry JSON dump. Both require a
 // single -exp and are byte-identical across runs with the same -seed.
+//
+// -explain runs the same capture with the span-lineage collector
+// (internal/span) attached and appends the makespan attribution — critical
+// path, per-kind/device/filter breakdowns, top bottleneck buffers — to the
+// report. With -exp all it instead appends a one-line makespan breakdown
+// to every experiment section that supports a capture. -explain-out writes
+// the machine-readable attribution artifact (requires a single -exp); like
+// the other captures it is byte-identical across runs with the same -seed,
+// serial or -parallel.
 package main
 
 import (
@@ -49,11 +59,13 @@ func main() {
 		faults   = flag.String("faults", "", "scripted fault schedule for -exp chaos, e.g. 'slow:node=0,at=100ms,for=500ms,x=4;crash:filter=nbia,inst=3,at=200ms'")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON capture of the experiment to this file (view in ui.perfetto.dev; requires a single -exp)")
 		metrOut  = flag.String("metrics-out", "", "write the experiment's metrics-registry JSON to this file (requires a single -exp)")
+		explain  = flag.Bool("explain", false, "append the makespan attribution (critical path, breakdowns, bottlenecks) to the report; with -exp all, adds a breakdown line per experiment")
+		explOut  = flag.String("explain-out", "", "write the makespan-attribution JSON artifact to this file (requires a single -exp)")
 	)
 	flag.Parse()
 
-	if (*traceOut != "" || *metrOut != "") && *exp == "all" {
-		fmt.Fprintln(os.Stderr, "anthill-sim: -trace/-metrics-out need a single experiment (-exp ID)")
+	if (*traceOut != "" || *metrOut != "" || *explOut != "") && *exp == "all" {
+		fmt.Fprintln(os.Stderr, "anthill-sim: -trace/-metrics-out/-explain-out need a single experiment (-exp ID)")
 		os.Exit(1)
 	}
 
@@ -84,7 +96,7 @@ func main() {
 
 	cfg := experiments.Config{
 		Full: *full, Seed: *seed, FaultSpec: *faults,
-		Observe: *traceOut != "" || *metrOut != "",
+		Observe: *traceOut != "" || *metrOut != "" || *explain || *explOut != "",
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -147,10 +159,13 @@ func main() {
 			}
 		}
 	}
-	if cfg.Observe {
+	if cfg.Observe && *exp != "all" {
 		if capture == nil {
 			fmt.Fprintf(os.Stderr, "anthill-sim: experiment %q has no observability capture\n", *exp)
 			os.Exit(1)
+		}
+		if *explain {
+			fmt.Fprint(w, capture.ExplainText)
 		}
 		if *traceOut != "" {
 			if err := os.WriteFile(*traceOut, capture.Trace, 0o644); err != nil {
@@ -160,6 +175,12 @@ func main() {
 		}
 		if *metrOut != "" {
 			if err := os.WriteFile(*metrOut, capture.Metrics, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+				os.Exit(1)
+			}
+		}
+		if *explOut != "" {
+			if err := os.WriteFile(*explOut, capture.Explain, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
 				os.Exit(1)
 			}

@@ -2,7 +2,9 @@
 // writes a machine-readable summary (BENCH_sweep.json by default): wall
 // time of the full report regeneration serially (1 worker) and on the
 // worker pool, sweep points per second for both, the resulting speedup,
-// and the simulation kernel's allocation profile on its hot-path
+// the cost of enabling the attribution/observability captures
+// (explain_overhead_pct — the price of -explain, paid only when asked
+// for), and the simulation kernel's allocation profile on its hot-path
 // workloads.
 //
 // Usage:
@@ -47,7 +49,13 @@ type summary struct {
 	Runs       []runResult   `json:"runs"`
 	Speedup    float64       `json:"parallel_speedup"`
 	Identical  bool          `json:"outputs_identical"`
-	SimAllocs  []allocResult `json:"sim_kernel_allocs"`
+	// ExplainOverheadPct is the extra wall time of the pooled run with the
+	// observability captures (span collector + trace + metrics) attached,
+	// relative to the plain pooled run. With captures disabled the hook bus
+	// is nil-guarded and costs nothing — this records the price actually
+	// paid when -explain/-trace are requested.
+	ExplainOverheadPct float64       `json:"explain_overhead_pct"`
+	SimAllocs          []allocResult `json:"sim_kernel_allocs"`
 }
 
 // timedRunAll regenerates the full report with the given pool size and
@@ -71,6 +79,9 @@ func timedRunAll(cfg experiments.Config, workers int) (runResult, string) {
 	mode := "parallel"
 	if workers == 1 {
 		mode = "serial"
+	}
+	if cfg.Observe {
+		mode += "+explain"
 	}
 	points := experiments.PointCount()
 	return runResult{
@@ -166,6 +177,12 @@ func main() {
 	par, parOut := timedRunAll(cfg, parWorkers)
 	fmt.Fprintf(os.Stderr, "benchsweep: parallel %.1fs, %d points (%.1f points/s)\n",
 		par.WallSeconds, par.Points, par.PointsPerSec)
+	explainCfg := cfg
+	explainCfg.Observe = true
+	fmt.Fprintf(os.Stderr, "benchsweep: parallel+explain run (%d workers, captures attached)...\n", parWorkers)
+	parExplain, _ := timedRunAll(explainCfg, parWorkers)
+	fmt.Fprintf(os.Stderr, "benchsweep: parallel+explain %.1fs, %d points (%.1f points/s)\n",
+		parExplain.WallSeconds, parExplain.Points, parExplain.PointsPerSec)
 
 	s := summary{
 		GoVersion:  runtime.Version(),
@@ -175,9 +192,10 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
 		FullScale:  *full,
-		Runs:       []runResult{serial, par},
-		Speedup:    serial.WallSeconds / par.WallSeconds,
-		Identical:  serialOut == parOut,
+		Runs:               []runResult{serial, par, parExplain},
+		Speedup:            serial.WallSeconds / par.WallSeconds,
+		Identical:          serialOut == parOut,
+		ExplainOverheadPct: (parExplain.WallSeconds/par.WallSeconds - 1) * 100,
 		SimAllocs: []allocResult{
 			{"event_loop_4procs_x_1000_sleeps", allocsPerRun(5, eventLoop)},
 			{"spawn_churn_1000_procs", allocsPerRun(5, spawnChurn)},

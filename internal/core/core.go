@@ -178,7 +178,11 @@ func (tr *tracker) adjust(now sim.Time, delta int64) {
 // ProcRecord describes one processed event, for profiling tables like the
 // paper's Tables 4 and 6.
 type ProcRecord struct {
-	TaskID     uint64
+	TaskID uint64
+	// Parent is the ID of the task whose processing created this one (0
+	// for source-born buffers) — the lineage link trace subscribers use to
+	// draw cross-filter flow arrows.
+	Parent     uint64
 	Filter     string
 	Instance   int
 	NodeID     int

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/task"
 	"repro/internal/xfer"
 )
 
@@ -36,8 +37,18 @@ type Bus struct {
 	// request issued upstream, and its outcome (data, empty, EOF).
 	Demand func(DemandRecord)
 	// Send fires when a sender ships a data buffer downstream, on both the
-	// demand-driven and the push path.
+	// demand-driven and the push path. It marks the start of the buffer's
+	// network transfer; the matching Deliver marks its end.
 	Send func(SendRecord)
+	// Emit fires when a data buffer enters a sender's send queue: at
+	// source seeding, on-demand generation, handler forwards, resubmission
+	// arrival, and crash-recovery re-enqueues. Together with Deliver it
+	// carries the lineage IDs the attribution engine (internal/span) links
+	// spans with.
+	Emit func(EmitRecord)
+	// Deliver fires when a data buffer lands in a live consumer's input
+	// queue, on both the demand-driven and the push path.
+	Deliver func(DeliverRecord)
 	// Fault fires when a fault-injection action takes effect (and, for
 	// windowed faults, when the window ends). Crash faults fire from
 	// CrashInstance; windowed hardware faults fire from fault.Apply.
@@ -123,6 +134,40 @@ type SendRecord struct {
 	Push bool
 }
 
+// EmitRecord traces one data buffer entering a sender's send queue — the
+// upstream end of the buffer's journey down a stream. Re-emits happen when
+// crash recovery moves a buffer back into a (possibly different) live
+// sender's queue; the task ID stays the same.
+type EmitRecord struct {
+	// Stream is "from->to" in filter names.
+	Stream string
+	// Filter and Instance identify the emitting transparent copy.
+	Filter   string
+	Instance int
+	TaskID   uint64
+	// Parent is the ID of the task whose processing created this buffer
+	// (0 for source-born buffers) — the causal lineage link.
+	Parent uint64
+	Bytes  int64
+	At     sim.Time
+}
+
+// DeliverRecord traces one data buffer landing in a live consumer's input
+// queue — the downstream end of its network transfer.
+type DeliverRecord struct {
+	// Stream is "from->to" in filter names.
+	Stream string
+	// Filter and Instance identify the consuming transparent copy.
+	Filter   string
+	Instance int
+	// Input is the consumer's input-stream index the buffer landed on.
+	Input  int
+	TaskID uint64
+	At     sim.Time
+	// Push marks buffers delivered by the push path (no demand signal).
+	Push bool
+}
+
 // FaultRecord traces one fault-injection action taking effect.
 type FaultRecord struct {
 	// Kind is the fault class: "slow", "net", "pcie", or "crash".
@@ -152,6 +197,8 @@ type SpanRecord struct {
 	End    sim.Time
 	// Bytes is the transfer size (0 for kernel spans).
 	Bytes int64
+	// TaskID is the data buffer the span belongs to.
+	TaskID uint64
 }
 
 // EmitFault publishes a fault record on the bus (no-op without subscriber).
@@ -260,6 +307,45 @@ func (s *sender) noteSend(toInst int, taskID uint64, bytes int64, push bool) {
 		Bytes:        bytes,
 		At:           s.inst.rt.K.Now(),
 		Push:         push,
+	})
+}
+
+// noteEmit publishes one buffer entering this sender's send queue. Called
+// from sender.push — the single chokepoint every queued buffer passes
+// through — so seeds, on-demand generation, forwards, resubmissions and
+// crash-recovery re-enqueues all fire it.
+func (s *sender) noteEmit(t *task.Task) {
+	h := s.inst.rt.Hooks.Emit
+	if h == nil {
+		return
+	}
+	out := s.inst.f.out
+	h(EmitRecord{
+		Stream:   out.from.Name() + "->" + out.to.Name(),
+		Filter:   s.inst.f.Name(),
+		Instance: s.inst.idx,
+		TaskID:   t.ID,
+		Parent:   t.Parent,
+		Bytes:    t.Size,
+		At:       s.inst.rt.K.Now(),
+	})
+}
+
+// noteDeliver publishes one buffer landing in this instance's input queue qi.
+func (inst *Instance) noteDeliver(qi int, t *task.Task, push bool) {
+	h := inst.rt.Hooks.Deliver
+	if h == nil {
+		return
+	}
+	s := inst.inputs[qi].s
+	h(DeliverRecord{
+		Stream:   s.from.Name() + "->" + s.to.Name(),
+		Filter:   inst.f.Name(),
+		Instance: inst.idx,
+		Input:    qi,
+		TaskID:   t.ID,
+		At:       inst.rt.K.Now(),
+		Push:     push,
 	})
 }
 

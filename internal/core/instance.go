@@ -61,6 +61,7 @@ type generator struct {
 // push inserts a data buffer into the SendQueue (ThreadBufferQueuer). On a
 // labeled stream the buffer goes to its label's partition.
 func (s *sender) push(t *task.Task) {
+	s.noteEmit(t)
 	if s.parts != nil {
 		stream := s.inst.f.out
 		pi := int(stream.labelFn(t) % uint64(len(s.parts)))
@@ -185,8 +186,13 @@ func (s *sender) runPush(e *sim.Env) {
 			dst = consumers[rr%len(consumers)]
 		}
 		rr++
-		rt.Cluster.Net.Send(e, s.inst.node, dst.node, t.Size)
+		// The send is noted at transfer start — symmetric with the demand
+		// path, where noteSend fires when the buffer is popped — so the
+		// Send→Deliver window brackets the network transfer. A transfer
+		// whose destination dies mid-flight counts as a (re-)send.
 		stream.stats.sent++
+		s.noteSend(dst.idx, t.ID, t.Size, true)
+		rt.Cluster.Net.Send(e, s.inst.node, dst.node, t.Size)
 		if dst.dead {
 			// Crashed while the buffer was on the wire: reclaim it into our
 			// own send queue (the sender's retransmit buffer) for re-send.
@@ -196,7 +202,7 @@ func (s *sender) runPush(e *sim.Env) {
 		}
 		dst.inputs[qi].queue.Push(t)
 		stream.stats.delivered++
-		s.noteSend(dst.idx, t.ID, t.Size, true)
+		dst.noteDeliver(qi, t, true)
 		dst.noteInputDepth(qi)
 		dst.taskAvail.NotifyAll()
 	}
@@ -363,6 +369,7 @@ func (inst *Instance) buildWorkers() {
 						Start:    sp.Start,
 						End:      sp.End,
 						Bytes:    sp.Bytes,
+						TaskID:   sp.Task,
 					})
 				}
 			}
@@ -628,10 +635,12 @@ func (w *worker) finish(e *sim.Env, t *task.Task, start sim.Time) {
 			panic(fmt.Sprintf("core: filter %q forwards but has no output stream", w.inst.f.Name()))
 		}
 		rt.prep(o, now)
+		o.Parent = t.ID
 		w.inst.out.push(o)
 	}
 	for _, o := range act.Resubmit {
 		rt.prep(o, now)
+		o.Parent = t.ID
 		w.inst.resubmit(e, o)
 	}
 	// Account new lineages before retiring the input's, so the tracker
@@ -643,6 +652,7 @@ func (w *worker) finish(e *sim.Env, t *task.Task, start sim.Time) {
 	if rt.wantProcess() {
 		rt.emitProcess(ProcRecord{
 			TaskID:   t.ID,
+			Parent:   t.Parent,
 			Filter:   w.inst.f.Name(),
 			Instance: w.inst.idx,
 			NodeID:   w.inst.node.ID,
@@ -748,6 +758,7 @@ func (w *worker) requester(e *sim.Env, qi int) {
 				inst.fetcher[rep.t.ID] = st
 				inst.inputs[qi].queue.Push(rep.t)
 				stream.stats.delivered++
+				inst.noteDeliver(qi, rep.t, false)
 				w.noteDemand(fe.Now(), qi, DemandData, st.requestSize)
 				inst.noteInputDepth(qi)
 				inst.taskAvail.NotifyAll()

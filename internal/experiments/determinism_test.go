@@ -109,3 +109,75 @@ func TestRunAllDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestExplainDeterminism checks the attribution acceptance property: the
+// explain artifact (span.Doc JSON), the human-readable summary, and the
+// breakdown line captured on a 4-worker pool are byte-identical to the
+// serial ones, across seeds 1-3, for the cheap capture-bearing experiments
+// (fig7 exercises the VI capture, fig12 the heterogeneous NBIA one). The
+// expensive fig10 CLI path is pinned by `make explain-determinism`, and
+// TestExplainCaptureRepeatable covers the chaos/fig10 capture workloads
+// directly.
+func TestExplainDeterminism(t *testing.T) {
+	captureAll := func(cfg Config, exps []Experiment, workers int) []*ObsCapture {
+		t.Helper()
+		SetWorkers(workers)
+		defer SetWorkers(0)
+		var out []*ObsCapture
+		for _, rep := range RunMany(cfg, exps) {
+			if rep.Obs == nil {
+				t.Fatalf("experiment %s produced no capture with Observe set", rep.ID)
+			}
+			out = append(out, rep.Obs)
+		}
+		return out
+	}
+	var exps []Experiment
+	for _, id := range []string{"fig7", "fig12"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := Config{Seed: seed, Observe: true}
+		serial := captureAll(cfg, exps, 1)
+		par := captureAll(cfg, exps, 4)
+		for i := range serial {
+			if string(serial[i].Explain) != string(par[i].Explain) {
+				t.Errorf("seed %d, %s: parallel explain artifact differs from serial",
+					seed, exps[i].ID)
+			}
+			if serial[i].ExplainText != par[i].ExplainText {
+				t.Errorf("seed %d, %s: parallel explain summary differs", seed, exps[i].ID)
+			}
+			if serial[i].Breakdown != par[i].Breakdown {
+				t.Errorf("seed %d, %s: parallel breakdown line differs", seed, exps[i].ID)
+			}
+		}
+	}
+}
+
+// TestExplainCaptureRepeatable runs the fig10 and chaos captures twice each
+// (captures are fixed-size and independent of the sweep) and requires
+// byte-identical explain artifacts for the same seed.
+func TestExplainCaptureRepeatable(t *testing.T) {
+	for _, id := range []string{"fig10", "chaos"} {
+		cfg := Config{Seed: 1}
+		a := RunCapture(cfg, id)
+		b := RunCapture(cfg, id)
+		if a == nil || b == nil {
+			t.Fatalf("%s: no capture", id)
+		}
+		if string(a.Explain) != string(b.Explain) {
+			t.Errorf("%s: repeated captures produced different explain artifacts", id)
+		}
+		if a.ExplainText != b.ExplainText || a.Breakdown != b.Breakdown {
+			t.Errorf("%s: repeated captures produced different summaries", id)
+		}
+		if len(a.Explain) == 0 || a.Breakdown == "" {
+			t.Errorf("%s: capture missing explain artifacts", id)
+		}
+	}
+}

@@ -30,10 +30,12 @@ type Config struct {
 	FaultSpec string
 	// Observe additionally runs one small representative configuration of
 	// each supported experiment with the full observability layer attached
-	// (Chrome trace-event log + metrics registry) and stores the rendered
-	// artifacts in Report.Obs. The capture is a separate run executed after
-	// the sweep, so the report body stays byte-identical with and without
-	// it. See anthill-sim's -trace/-metrics-out flags.
+	// (Chrome trace-event log + metrics registry + span-lineage collector)
+	// and stores the rendered artifacts in Report.Obs. The capture is a
+	// separate run executed after the sweep, so the report body stays
+	// byte-identical with and without it — except for the one appended
+	// makespan-attribution line Render adds when a capture is present. See
+	// anthill-sim's -trace/-metrics-out/-explain/-explain-out flags.
 	Observe bool
 }
 
@@ -87,6 +89,11 @@ func (r *Report) Render() string {
 			mark = "FAIL"
 		}
 		fmt.Fprintf(&b, "- [%s] %s — %s\n", mark, c.Name, c.Detail)
+	}
+	if r.Obs != nil && r.Obs.Breakdown != "" {
+		// Only present when Config.Observe is set, so plain reports stay
+		// byte-identical with earlier versions.
+		fmt.Fprintf(&b, "\n**Makespan attribution (capture):** %s\n", r.Obs.Breakdown)
 	}
 	b.WriteString("\n")
 	return b.String()

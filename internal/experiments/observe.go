@@ -3,9 +3,11 @@ package experiments
 // Observability captures. With Config.Observe set, each supported
 // experiment additionally runs ONE small representative configuration of
 // its workload with the full observability layer attached — a Chrome
-// trace-event log (internal/trace.ChromeLog) and a metrics registry
-// (internal/obs.Registry) subscribed to the runtime's hook bus — and
-// stores the rendered artifacts in Report.Obs.
+// trace-event log (internal/trace.ChromeLog), a metrics registry
+// (internal/obs.Registry), and a span-lineage collector
+// (internal/span.Collector) subscribed to the runtime's hook bus — and
+// stores the rendered artifacts in Report.Obs, including the critical-path
+// attribution (-explain / -explain-out).
 //
 // The capture is deliberately a separate, fixed-size run executed serially
 // AFTER the experiment's sweep (see RunMany): the sweep's points stay
@@ -26,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/task"
 	"repro/internal/trace"
 )
@@ -36,6 +39,12 @@ type ObsCapture struct {
 	Trace []byte
 	// Metrics is the obs.Registry JSON document.
 	Metrics []byte
+	// Explain is the critical-path attribution artifact (span.Doc JSON).
+	Explain []byte
+	// ExplainText is the human-readable attribution summary.
+	ExplainText string
+	// Breakdown is the one-line makespan breakdown embedded in reports.
+	Breakdown string
 }
 
 // captureTiles is the fixed workload of every NBIA capture run — small
@@ -93,7 +102,8 @@ func captureNBIA(c nbiaCase, sched *fault.Schedule) *ObsCapture {
 	}
 	log := trace.NewChromeLog()
 	reg := obs.NewRegistry()
-	_, err := nbia.Run(nbia.Config{
+	col := span.NewCollector()
+	res, err := nbia.Run(nbia.Config{
 		Cluster:    cl,
 		Tiles:      c.tiles,
 		Levels:     c.levels,
@@ -109,13 +119,14 @@ func captureNBIA(c nbiaCase, sched *fault.Schedule) *ObsCapture {
 		Hooks: func(rt *core.Runtime) {
 			log.Attach(rt)
 			reg.Attach(rt)
+			col.Attach(rt)
 		},
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: observability capture failed: %v", err))
 	}
 	log.AddCluster(cl)
-	return renderCapture(log, reg, k.Now())
+	return renderCapture(log, reg, col, res.Makespan, k.Now())
 }
 
 // captureVI replays the Figure 7 workload — vector chunks incremented on a
@@ -138,8 +149,10 @@ func captureVI(seed int64) *ObsCapture {
 	rt := core.New(cl, nil)
 	log := trace.NewChromeLog()
 	reg := obs.NewRegistry()
+	col := span.NewCollector()
 	log.Attach(rt)
 	reg.Attach(rt)
+	col.Attach(rt)
 	src := rt.AddFilter(core.FilterSpec{
 		Name: "vector", Placement: []int{0},
 		SourceCount: func(int) int { return chunks },
@@ -153,11 +166,12 @@ func captureVI(seed int64) *ObsCapture {
 		Handler: func(ctx *core.Ctx, t *task.Task) core.Action { return core.Action{} },
 	})
 	rt.Connect(src, inc, policy.ODDS())
-	if _, err := rt.Run(); err != nil {
+	res, err := rt.Run()
+	if err != nil {
 		panic(fmt.Sprintf("experiments: VI capture failed: %v", err))
 	}
 	log.AddCluster(cl)
-	return renderCapture(log, reg, k.Now())
+	return renderCapture(log, reg, col, res.Makespan, k.Now())
 }
 
 // captureChaos runs the chaos workload under a fault schedule so crash and
@@ -189,9 +203,11 @@ func captureChaos(cfg Config) *ObsCapture {
 	return captureNBIA(c, sched)
 }
 
-// renderCapture closes the registry at the run horizon and renders both
-// artifacts.
-func renderCapture(log *trace.ChromeLog, reg *obs.Registry, horizon sim.Time) *ObsCapture {
+// renderCapture closes the registry at the run horizon and renders every
+// artifact, including the critical-path attribution built from the span
+// collector at the run's makespan.
+func renderCapture(log *trace.ChromeLog, reg *obs.Registry, col *span.Collector,
+	makespan, horizon sim.Time) *ObsCapture {
 	var buf bytes.Buffer
 	if err := log.WriteJSON(&buf); err != nil {
 		panic(fmt.Sprintf("experiments: trace render failed: %v", err))
@@ -201,5 +217,16 @@ func renderCapture(log *trace.ChromeLog, reg *obs.Registry, horizon sim.Time) *O
 	if err != nil {
 		panic(fmt.Sprintf("experiments: metrics render failed: %v", err))
 	}
-	return &ObsCapture{Trace: buf.Bytes(), Metrics: mj}
+	attr, err := col.Build(makespan)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: attribution build failed: %v", err))
+	}
+	ej, err := attr.Encode()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: attribution render failed: %v", err))
+	}
+	return &ObsCapture{
+		Trace: buf.Bytes(), Metrics: mj,
+		Explain: ej, ExplainText: attr.Summary(), Breakdown: attr.Breakdown(),
+	}
 }

@@ -269,6 +269,26 @@ func (r *Registry) Attach(rt *core.Runtime) {
 			prevSend(rec)
 		}
 	}
+	prevEmit := rt.Hooks.Emit
+	rt.Hooks.Emit = func(rec core.EmitRecord) {
+		k := fmt.Sprintf("stream=%s,inst=%d", rec.Stream, rec.Instance)
+		r.Counter("stream_emits{" + k + "}").Add(1)
+		if prevEmit != nil {
+			prevEmit(rec)
+		}
+	}
+	prevDeliver := rt.Hooks.Deliver
+	rt.Hooks.Deliver = func(rec core.DeliverRecord) {
+		mode := "demand"
+		if rec.Push {
+			mode = "push"
+		}
+		k := fmt.Sprintf("stream=%s,inst=%d,mode=%s", rec.Stream, rec.Instance, mode)
+		r.Counter("stream_delivers{" + k + "}").Add(1)
+		if prevDeliver != nil {
+			prevDeliver(rec)
+		}
+	}
 	prevFault := rt.Hooks.Fault
 	rt.Hooks.Fault = func(rec core.FaultRecord) {
 		r.Counter(fmt.Sprintf("faults{kind=%s,phase=%s}", rec.Kind, rec.Phase)).Add(1)

@@ -77,13 +77,15 @@ func TestAttachChains(t *testing.T) {
 	rt := &core.Runtime{}
 	var hits []string
 	note := func(s string) func() { return func() { hits = append(hits, s) } }
-	p, tg, q, d, s, f, sp := note("proc"), note("target"), note("depth"),
-		note("demand"), note("send"), note("fault"), note("span")
+	p, tg, q, d, s, em, dl, f, sp := note("proc"), note("target"), note("depth"),
+		note("demand"), note("send"), note("emit"), note("deliver"), note("fault"), note("span")
 	rt.Hooks.Process = func(core.ProcRecord) { p() }
 	rt.Hooks.Target = func(core.TargetRecord) { tg() }
 	rt.Hooks.QueueDepth = func(core.QueueDepthRecord) { q() }
 	rt.Hooks.Demand = func(core.DemandRecord) { d() }
 	rt.Hooks.Send = func(core.SendRecord) { s() }
+	rt.Hooks.Emit = func(core.EmitRecord) { em() }
+	rt.Hooks.Deliver = func(core.DeliverRecord) { dl() }
 	rt.Hooks.Fault = func(core.FaultRecord) { f() }
 	rt.Hooks.Span = func(core.SpanRecord) { sp() }
 
@@ -95,10 +97,12 @@ func TestAttachChains(t *testing.T) {
 	rt.Hooks.QueueDepth(core.QueueDepthRecord{Filter: "f", Queue: "in0", At: 1, Depth: 3})
 	rt.Hooks.Demand(core.DemandRecord{Filter: "f", At: 1, Event: core.DemandIssued})
 	rt.Hooks.Send(core.SendRecord{Stream: "a->b", TaskID: 1, Bytes: 8, At: 1})
+	rt.Hooks.Emit(core.EmitRecord{Stream: "a->b", Filter: "a", TaskID: 1, Bytes: 8, At: 0.5})
+	rt.Hooks.Deliver(core.DeliverRecord{Stream: "a->b", Filter: "b", TaskID: 1, At: 1.5})
 	rt.Hooks.Fault(core.FaultRecord{Kind: "slow", Phase: "begin", At: 1})
 	rt.Hooks.Span(core.SpanRecord{Filter: "f", Worker: "w", Start: 0, End: 1, Bytes: 4})
 
-	want := []string{"proc", "target", "depth", "demand", "send", "fault", "span"}
+	want := []string{"proc", "target", "depth", "demand", "send", "emit", "deliver", "fault", "span"}
 	if len(hits) != len(want) {
 		t.Fatalf("chained subscribers fired %v, want %v", hits, want)
 	}

@@ -1,0 +1,122 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Decode parses and validates an explain artifact produced by Encode. It is
+// strict: unknown fields, non-finite numbers, unknown span kinds, and
+// non-contiguous critical paths are all rejected. The validation doubles as
+// the fuzz surface (FuzzDecode) — Decode must never panic, whatever the
+// input bytes.
+func Decode(data []byte) (*Doc, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d Doc
+	if err := dec.Decode(&d); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("span: trailing data after artifact")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks the artifact's internal consistency: finite numbers,
+// known kinds, and — the conservation property — a contiguous critical
+// path whose bounds match the declared path_start_s/path_end_s.
+func (d *Doc) Validate() error {
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{
+		{"makespan_s", d.MakespanS},
+		{"path_start_s", d.PathStartS},
+		{"path_end_s", d.PathEndS},
+		{"coverage_pct", d.CoveragePct},
+	} {
+		if !finite(v.v) {
+			return fmt.Errorf("span: %s is not finite", v.name)
+		}
+	}
+	if d.MakespanS < 0 {
+		return fmt.Errorf("span: negative makespan")
+	}
+	if d.CoveragePct < 0 || d.CoveragePct > 100.000001 {
+		return fmt.Errorf("span: coverage %v out of range", d.CoveragePct)
+	}
+	if d.Buffers < 0 || d.Processed < 0 || d.Processed > d.Buffers {
+		return fmt.Errorf("span: inconsistent buffer counts %d/%d", d.Processed, d.Buffers)
+	}
+	cur := d.PathStartS
+	for i, s := range d.Path {
+		if _, ok := ParseKind(s.Kind); !ok {
+			return fmt.Errorf("span: segment %d has unknown kind %q", i, s.Kind)
+		}
+		if !finite(s.StartS) || !finite(s.EndS) {
+			return fmt.Errorf("span: segment %d has non-finite bounds", i)
+		}
+		if s.StartS != cur {
+			return fmt.Errorf("span: segment %d starts at %v, want %v (path must be contiguous)",
+				i, s.StartS, cur)
+		}
+		if s.EndS <= s.StartS {
+			return fmt.Errorf("span: segment %d is empty or reversed", i)
+		}
+		cur = s.EndS
+	}
+	if len(d.Path) > 0 && cur != d.PathEndS {
+		return fmt.Errorf("span: path ends at %v, declared %v", cur, d.PathEndS)
+	}
+	if d.PathEndS > d.MakespanS*(1+1e-9) {
+		return fmt.Errorf("span: path end %v exceeds makespan %v", d.PathEndS, d.MakespanS)
+	}
+	for _, grp := range [][]BkDoc{d.ByKind, d.ByDevice, d.ByFilter} {
+		if err := validateSlices(grp); err != nil {
+			return err
+		}
+	}
+	for i, b := range d.Bottlenecks {
+		if !finite(b.TimeS) || !finite(b.Pct) || b.TimeS < 0 {
+			return fmt.Errorf("span: bottleneck %d has bad numbers", i)
+		}
+		if err := validateSlices(b.Kinds); err != nil {
+			return err
+		}
+	}
+	cur = d.PathStartS
+	for i, h := range d.Hops {
+		if !finite(h.StartS) || !finite(h.EndS) || h.EndS < h.StartS {
+			return fmt.Errorf("span: hop %d has bad bounds", i)
+		}
+		if h.StartS != cur {
+			return fmt.Errorf("span: hop %d starts at %v, want %v (hops must be contiguous)",
+				i, h.StartS, cur)
+		}
+		cur = h.EndS
+	}
+	if len(d.Hops) > 0 && len(d.Path) > 0 && cur != d.PathEndS {
+		return fmt.Errorf("span: hops end at %v, path at %v", cur, d.PathEndS)
+	}
+	return nil
+}
+
+func validateSlices(rows []BkDoc) error {
+	for i, s := range rows {
+		if !finite(s.TimeS) || !finite(s.Pct) {
+			return fmt.Errorf("span: breakdown row %d (%q) has non-finite numbers", i, s.Key)
+		}
+		if s.TimeS < 0 || s.Pct < 0 || s.Pct > 100.000001 || s.Segs < 0 {
+			return fmt.Errorf("span: breakdown row %d (%q) out of range", i, s.Key)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

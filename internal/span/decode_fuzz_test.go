@@ -1,0 +1,52 @@
+package span
+
+import (
+	"testing"
+)
+
+// FuzzDecode asserts the explain-artifact decoder's contract on arbitrary
+// bytes: Decode must return a document or an error, never panic, and any
+// document it accepts must re-validate (Validate is deterministic and
+// side-effect free).
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"makespan_s":1}`,
+		`{"makespan_s":-1}`,
+		`{"makespan_s":1e309}`,
+		`{"makespan_s":1,"coverage_pct":120}`,
+		`{"makespan_s":1,"buffers":2,"processed_buffers":3}`,
+		`{"makespan_s":1,"critical_path":[{"task":1,"kind":"nope","start_s":0,"end_s":1}]}`,
+		`{"makespan_s":1,"path_end_s":1,"critical_path":[{"task":1,"kind":"service","start_s":0,"end_s":1}]}`,
+		`{"makespan_s":1,"critical_path":[{"task":1,"kind":"service","start_s":0,"end_s":0}]}`,
+		`{"makespan_s":1,"critical_path":[{"kind":"queue","start_s":0,"end_s":0.5},{"kind":"net","start_s":0.6,"end_s":1}]}`,
+		`{"makespan_s":1,"by_kind":[{"key":"net","time_s":-2,"pct":10,"segs":1}]}`,
+		`{"makespan_s":1,"hops":[{"task":1,"start_s":0.2,"end_s":0.1}]}`,
+		`{"makespan_s":1,"unknown":true}`,
+		`{"makespan_s":1}{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	// One real artifact from an actual run, so the corpus starts with a
+	// fully populated accepting input.
+	a, _ := runPipe(f, pipes[0])
+	if raw, err := a.Encode(); err == nil {
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if d == nil {
+			t.Fatal("Decode returned nil doc with nil error")
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted doc fails re-validation: %v", err)
+		}
+	})
+}

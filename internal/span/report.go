@@ -1,0 +1,230 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// topK is the length of the bottleneck-buffer table in reports.
+const topK = 5
+
+// maxPathRows caps how many critical-path segments Summary prints; the full
+// path is always in the JSON artifact.
+const maxPathRows = 64
+
+// fmtF formats a float the way the rest of the reporting stack does.
+func fmtF(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Summary renders the attribution as human-readable markdown: headline
+// numbers, per-kind / per-device / per-filter breakdowns, the top-K
+// bottleneck buffers, and the (truncated) critical path itself. Output is
+// deterministic for a fixed attribution.
+func (a *Attribution) Summary() string {
+	var b strings.Builder
+	b.WriteString("# Makespan attribution\n\n")
+	fmt.Fprintf(&b, "- makespan: %ss\n", fmtF(float64(a.Makespan)))
+	fmt.Fprintf(&b, "- critical path: %ss over %d segments, %d buffer hops (coverage %s of makespan)\n",
+		fmtF(float64(a.PathLen())), len(a.Path), len(a.Hops), fmtPct(a.Coverage()))
+	if n := len(a.Hops); n > 0 {
+		h := a.Hops[n-1]
+		fmt.Fprintf(&b, "- final buffer: task %d at %s/%d on n%d/%s\n",
+			h.Task, h.Consumer, h.Instance, h.NodeID, h.Device)
+	}
+	fmt.Fprintf(&b, "- buffers tracked: %d (%d processed)\n\n", a.Buffers, a.Processed)
+
+	b.WriteString(sliceTable("Critical path by span kind", "kind", a.ByKind()))
+	b.WriteString("\n")
+	b.WriteString(sliceTable("Critical path by device class", "device", a.ByDevice()))
+	b.WriteString("\n")
+	b.WriteString(sliceTable("Critical path by filter", "filter", a.ByFilter()))
+	b.WriteString("\n")
+
+	bt := metrics.Table{
+		Title:  fmt.Sprintf("Top %d bottleneck buffers", topK),
+		Header: []string{"task", "filter", "device", "path_s", "pct", "dominant spans"},
+	}
+	for _, row := range a.Bottlenecks(topK) {
+		var kinds []string
+		for i, k := range row.Kinds {
+			if i == 3 {
+				break
+			}
+			kinds = append(kinds, fmt.Sprintf("%s %s", k.Key, fmtPct(k.Pct)))
+		}
+		bt.AddRow(fmt.Sprintf("%d", row.Task), row.Filter, row.Device,
+			fmtF(float64(row.Dur)), fmtPct(row.Pct), strings.Join(kinds, " · "))
+	}
+	b.WriteString(bt.Render())
+	b.WriteString("\n")
+
+	pt := metrics.Table{
+		Title:  "Critical path",
+		Header: []string{"#", "start_s", "dur_s", "kind", "where", "dev", "task"},
+	}
+	for i, s := range a.Path {
+		if i == maxPathRows {
+			break
+		}
+		where := s.Filter
+		if s.Instance >= 0 {
+			where = fmt.Sprintf("%s/%d", s.Filter, s.Instance)
+		}
+		pt.AddRow(fmt.Sprintf("%d", i), fmtF(float64(s.Start)), fmtF(float64(s.Dur())),
+			s.Kind.String(), where, s.Device, fmt.Sprintf("%d", s.Task))
+	}
+	if len(a.Path) > maxPathRows {
+		pt.Caption = fmt.Sprintf("(%d of %d segments shown; full path in the JSON artifact)",
+			maxPathRows, len(a.Path))
+	}
+	b.WriteString(pt.Render())
+	return b.String()
+}
+
+// Breakdown renders the per-kind breakdown as a single line for embedding
+// in experiment reports, e.g.
+// "inqueue 38.2% · kernel 22.1% · net 14.0% (coverage 100.0%)".
+func (a *Attribution) Breakdown() string {
+	var parts []string
+	for _, s := range a.ByKind() {
+		parts = append(parts, fmt.Sprintf("%s %s", s.Key, fmtPct(s.Pct)))
+	}
+	return fmt.Sprintf("%s (coverage %s)", strings.Join(parts, " · "), fmtPct(a.Coverage()))
+}
+
+func sliceTable(title, keyHeader string, rows []Slice) string {
+	t := metrics.Table{Title: title, Header: []string{keyHeader, "time_s", "pct", "segs"}}
+	for _, s := range rows {
+		t.AddRow(s.Key, fmtF(float64(s.Dur)), fmtPct(s.Pct), fmt.Sprintf("%d", s.Segs))
+	}
+	return t.Render()
+}
+
+// Doc is the JSON artifact schema (-explain-out). Segment bounds are
+// absolute (start_s/end_s rather than durations) so consumers — and the
+// fuzzed decoder — can check contiguity exactly.
+type Doc struct {
+	MakespanS   float64  `json:"makespan_s"`
+	PathStartS  float64  `json:"path_start_s"`
+	PathEndS    float64  `json:"path_end_s"`
+	CoveragePct float64  `json:"coverage_pct"`
+	Buffers     int      `json:"buffers"`
+	Processed   int      `json:"processed_buffers"`
+	FinalTask   uint64   `json:"final_task"`
+	ByKind      []BkDoc  `json:"by_kind"`
+	ByDevice    []BkDoc  `json:"by_device"`
+	ByFilter    []BkDoc  `json:"by_filter"`
+	Bottlenecks []BotDoc `json:"bottlenecks"`
+	Hops        []HopDoc `json:"hops"`
+	Path        []SegDoc `json:"critical_path"`
+}
+
+// SegDoc is one critical-path segment in the artifact.
+type SegDoc struct {
+	Task     uint64  `json:"task"`
+	Kind     string  `json:"kind"`
+	StartS   float64 `json:"start_s"`
+	EndS     float64 `json:"end_s"`
+	Filter   string  `json:"filter"`
+	Instance int     `json:"instance"`
+	Device   string  `json:"device"`
+}
+
+// BkDoc is one breakdown row in the artifact.
+type BkDoc struct {
+	Key   string  `json:"key"`
+	TimeS float64 `json:"time_s"`
+	Pct   float64 `json:"pct"`
+	Segs  int     `json:"segs"`
+}
+
+// BotDoc is one bottleneck-buffer row in the artifact.
+type BotDoc struct {
+	Task   uint64  `json:"task"`
+	Filter string  `json:"filter"`
+	Device string  `json:"device"`
+	TimeS  float64 `json:"time_s"`
+	Pct    float64 `json:"pct"`
+	Kinds  []BkDoc `json:"kinds"`
+}
+
+// HopDoc is one lineage hop in the artifact.
+type HopDoc struct {
+	Task     uint64  `json:"task"`
+	Parent   uint64  `json:"parent"`
+	Stream   string  `json:"stream"`
+	Producer string  `json:"producer"`
+	Consumer string  `json:"consumer"`
+	Instance int     `json:"instance"`
+	Device   string  `json:"device"`
+	Node     int     `json:"node"`
+	Bytes    int64   `json:"bytes"`
+	StartS   float64 `json:"start_s"`
+	EndS     float64 `json:"end_s"`
+}
+
+func slicesDoc(rows []Slice) []BkDoc {
+	out := make([]BkDoc, len(rows))
+	for i, s := range rows {
+		out[i] = BkDoc{Key: s.Key, TimeS: float64(s.Dur), Pct: s.Pct, Segs: s.Segs}
+	}
+	return out
+}
+
+// Doc converts the attribution into its artifact form.
+func (a *Attribution) Doc() *Doc {
+	d := &Doc{
+		MakespanS:   float64(a.Makespan),
+		PathEndS:    float64(a.PathEnd()),
+		CoveragePct: a.Coverage(),
+		Buffers:     a.Buffers,
+		Processed:   a.Processed,
+		FinalTask:   a.FinalTask,
+		ByKind:      slicesDoc(a.ByKind()),
+		ByDevice:    slicesDoc(a.ByDevice()),
+		ByFilter:    slicesDoc(a.ByFilter()),
+	}
+	if len(a.Path) > 0 {
+		d.PathStartS = float64(a.Path[0].Start)
+	}
+	for _, b := range a.Bottlenecks(topK) {
+		d.Bottlenecks = append(d.Bottlenecks, BotDoc{
+			Task: b.Task, Filter: b.Filter, Device: b.Device,
+			TimeS: float64(b.Dur), Pct: b.Pct, Kinds: slicesDoc(b.Kinds),
+		})
+	}
+	for _, h := range a.Hops {
+		d.Hops = append(d.Hops, HopDoc{
+			Task: h.Task, Parent: h.Parent, Stream: h.Stream,
+			Producer: h.Producer, Consumer: h.Consumer, Instance: h.Instance,
+			Device: h.Device, Node: h.NodeID, Bytes: h.Bytes,
+			StartS: float64(h.Start), EndS: float64(h.End),
+		})
+	}
+	for _, s := range a.Path {
+		d.Path = append(d.Path, SegDoc{
+			Task: s.Task, Kind: s.Kind.String(),
+			StartS: float64(s.Start), EndS: float64(s.End),
+			Filter: s.Filter, Instance: s.Instance, Device: s.Device,
+		})
+	}
+	return d
+}
+
+// Encode renders the artifact as deterministic, indented JSON: struct
+// fields in declaration order, no HTML escaping, trailing newline.
+func (a *Attribution) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a.Doc()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

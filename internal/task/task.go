@@ -20,6 +20,11 @@ type CostFunc func(kind hw.Kind) sim.Time
 type Task struct {
 	// ID identifies the task; resubmitted (recalculated) work gets a new ID.
 	ID uint64
+	// Parent is the ID of the task whose processing created this one
+	// (handler Forward/Resubmit), or 0 for buffers born at a source. The
+	// chain of Parent links is the task's causal lineage, which the
+	// attribution engine (internal/span) walks to extract critical paths.
+	Parent uint64
 	// Seq is the global FIFO ordering stamp, assigned when the task enters
 	// a queue for the first time.
 	Seq uint64

@@ -20,9 +20,16 @@ import (
 //   - inside it, one thread track per device ("dev n0/CPU0", busy
 //     intervals), one per filter instance ("filter/0", processed events),
 //     and one per transfer-pipeline lane ("filter/0 h2d|kernel|d2h"),
+//   - flow arrows ("lineage") linking each processed event to the parent
+//     event whose handler created its buffer, so Perfetto can follow a
+//     buffer's causal chain across filters and nodes,
 //   - a "metrics" process (pid 0) holding the counter tracks: DQAA request
 //     target per worker and queue depth per runtime queue,
 //   - fault injections as instant events on their node's "faults" track.
+//
+// Tracks that would be empty are suppressed: a registered device that was
+// never busy (an idle core on a source-only node) gets no thread_name
+// metadata, keeping the Perfetto track list to what actually ran.
 //
 // Events are buffered in hook order (deterministic per seed) and rendered
 // with sorted track IDs and sorted JSON keys, so for a fixed seed the
@@ -108,7 +115,14 @@ func (l *ChromeLog) WriteJSON(w io.Writer) error {
 		}
 		tracks[pid][track] = true
 	}
+	// Devices with no busy intervals would render as empty tracks — skip
+	// them in both the metadata and the emission pass.
+	devs := make([]*hw.Device, 0, len(l.devs))
 	for _, d := range l.devs {
+		if len(d.Intervals()) == 0 {
+			continue
+		}
+		devs = append(devs, d)
 		note(d.NodeID+1, "dev "+d.Name())
 	}
 	for _, r := range l.procs {
@@ -160,7 +174,6 @@ func (l *ChromeLog) WriteJSON(w io.Writer) error {
 		}
 	}
 	// Device busy intervals, sorted by device name for stable output.
-	devs := append([]*hw.Device(nil), l.devs...)
 	sort.Slice(devs, func(i, j int) bool { return devs[i].Name() < devs[j].Name() })
 	for _, d := range devs {
 		pid := d.NodeID + 1
@@ -182,18 +195,49 @@ func (l *ChromeLog) WriteJSON(w io.Writer) error {
 			"args": ev{"task": r.TaskID, "dev": r.Kind.String()},
 		})
 	}
-	// Transfer-pipeline spans on their own lanes.
+	// Lineage flow arrows: link each processed event to the parent event
+	// that created its buffer. The child's task ID is the flow id (each
+	// buffer has exactly one parent); last-wins on re-processed records so
+	// crash-recovery reruns link their final incarnations.
+	byTask := make(map[uint64]core.ProcRecord, len(l.procs))
+	for _, r := range l.procs {
+		byTask[r.TaskID] = r
+	}
+	for _, r := range l.procs {
+		if r.Parent == 0 {
+			continue
+		}
+		p, ok := byTask[r.Parent]
+		if !ok || p.End > r.Start {
+			continue // parent not traced, or reprocessed after the child began
+		}
+		ppid := p.NodeID + 1
+		pid := r.NodeID + 1
+		events = append(events,
+			ev{
+				"name": "lineage", "cat": "lineage", "ph": "s", "id": r.TaskID,
+				"pid": ppid, "tid": tid[ppid][fmt.Sprintf("%s/%d", p.Filter, p.Instance)],
+				"ts": usec(p.End),
+			},
+			ev{
+				"name": "lineage", "cat": "lineage", "ph": "f", "bp": "e", "id": r.TaskID,
+				"pid": pid, "tid": tid[pid][fmt.Sprintf("%s/%d", r.Filter, r.Instance)],
+				"ts": usec(r.Start),
+			})
+	}
+	// Transfer-pipeline spans on their own lanes, tagged with their buffer.
 	for _, r := range l.spans {
 		pid := r.NodeID + 1
-		e := ev{
+		args := ev{"task": r.TaskID}
+		if r.Bytes > 0 {
+			args["bytes"] = r.Bytes
+		}
+		events = append(events, ev{
 			"name": r.Kind.String(), "ph": "X", "pid": pid,
 			"tid": tid[pid][fmt.Sprintf("%s/%d %s", r.Filter, r.Instance, r.Kind)],
 			"ts":  usec(r.Start), "dur": usec(r.End - r.Start),
-		}
-		if r.Bytes > 0 {
-			e["args"] = ev{"bytes": r.Bytes}
-		}
-		events = append(events, e)
+			"args": args,
+		})
 	}
 	// Counter tracks: DQAA targets and queue depths, on the metrics process.
 	for _, r := range l.targets {

@@ -55,12 +55,15 @@ type Span struct {
 	End   sim.Time
 	// Bytes is the transfer size; 0 for kernel spans.
 	Bytes int64
+	// Task is the ID of the data buffer the span belongs to, so
+	// subscribers can assemble a per-buffer pipeline lineage.
+	Task uint64
 }
 
 // span reports one completed step to the OnSpan subscriber.
-func (x *Executor) span(kind SpanKind, start, end sim.Time, bytes int64) {
+func (x *Executor) span(kind SpanKind, start, end sim.Time, bytes int64, taskID uint64) {
 	if x.OnSpan != nil {
-		x.OnSpan(Span{Kind: kind, Start: start, End: end, Bytes: bytes})
+		x.OnSpan(Span{Kind: kind, Start: start, End: end, Bytes: bytes, Task: taskID})
 	}
 }
 
@@ -96,12 +99,12 @@ func (x *Executor) runSync(e *sim.Env, batch []*task.Task) {
 		t0 := e.Now()
 		x.Link.Copy(e, t.Size, hw.HostToDevice)
 		t1 := e.Now()
-		x.span(SpanH2D, t0, t1, t.Size)
+		x.span(SpanH2D, t0, t1, t.Size, t.ID)
 		x.Dev.Run(e, t.Cost(hw.GPU))
 		t2 := e.Now()
-		x.span(SpanKernel, t1, t2, 0)
+		x.span(SpanKernel, t1, t2, 0, t.ID)
 		x.Link.Copy(e, t.OutSize, hw.DeviceToHost)
-		x.span(SpanD2H, t2, e.Now(), t.OutSize)
+		x.span(SpanD2H, t2, e.Now(), t.OutSize, t.ID)
 	}
 }
 
@@ -112,11 +115,11 @@ func (x *Executor) runAsync(e *sim.Env, batch []*task.Task) {
 	for i, t := range batch {
 		sig := sim.NewSignal(e.Kernel())
 		inDone[i] = sig
-		size := t.Size
+		size, id := t.Size, t.ID
 		e.Spawn("h2d", func(ce *sim.Env) {
 			t0 := ce.Now()
 			x.Link.Copy(ce, size, hw.HostToDevice)
-			x.span(SpanH2D, t0, ce.Now(), size)
+			x.span(SpanH2D, t0, ce.Now(), size, id)
 			sig.Fire()
 		})
 	}
@@ -126,17 +129,17 @@ func (x *Executor) runAsync(e *sim.Env, batch []*task.Task) {
 		inDone[i].Wait(e)
 		t0 := e.Now()
 		x.Dev.Run(e, t.Cost(hw.GPU))
-		x.span(SpanKernel, t0, e.Now(), 0)
+		x.span(SpanKernel, t0, e.Now(), 0, t.ID)
 	}
 	// Phase 3: issue every device-to-host copy, then wait for all of them.
 	wg := sim.NewWaitGroup(e.Kernel())
 	wg.Add(k)
 	for _, t := range batch {
-		size := t.OutSize
+		size, id := t.OutSize, t.ID
 		e.Spawn("d2h", func(ce *sim.Env) {
 			t0 := ce.Now()
 			x.Link.Copy(ce, size, hw.DeviceToHost)
-			x.span(SpanD2H, t0, ce.Now(), size)
+			x.span(SpanD2H, t0, ce.Now(), size, id)
 			wg.Done()
 		})
 	}

@@ -22,9 +22,10 @@ go test -race -timeout 20m ./...
 echo "== go test ./...  (tier-1 suite + full-report determinism, seeds 1-${ANTHILL_DETERMINISM_SEEDS:-3})"
 ANTHILL_DETERMINISM_SEEDS="${ANTHILL_DETERMINISM_SEEDS:-3}" go test -timeout 40m ./...
 
-echo "== fuzz smoke  (-faults parser and estimator profile decoder)"
+echo "== fuzz smoke  (-faults parser, estimator profile decoder, explain JSON decoder)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/fault
 go test -run '^$' -fuzz '^FuzzLoadProfile$' -fuzztime 10s ./internal/estimator
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/span
 
 echo "== chaos determinism  (serial vs 4-worker fault-injection sweeps, seeds 1-3)"
 go test -run '^TestChaosDeterminism$' -timeout 20m ./internal/experiments
@@ -38,6 +39,14 @@ go run ./cmd/anthill-sim -exp fig7 -seed 1 -o /dev/null \
     -trace "$tracedir/b.trace.json" -metrics-out "$tracedir/b.metrics.json"
 cmp "$tracedir/a.trace.json" "$tracedir/b.trace.json"
 cmp "$tracedir/a.metrics.json" "$tracedir/b.metrics.json"
+
+echo "== explain determinism  (serial vs 4-worker makespan-attribution artifacts must be byte-identical)"
+go test -race -run '^TestExplain' -timeout 20m ./internal/experiments
+go run ./cmd/anthill-sim -exp fig10 -seed 1 -o /dev/null \
+    -parallel=false -explain-out "$tracedir/a.explain.json"
+go run ./cmd/anthill-sim -exp fig10 -seed 1 -o /dev/null \
+    -parallel -workers 4 -explain-out "$tracedir/b.explain.json"
+cmp "$tracedir/a.explain.json" "$tracedir/b.explain.json"
 
 if [ -z "${SKIP_BENCH:-}" ]; then
     echo "== benchsweep  (regenerates BENCH_sweep.json)"
