@@ -22,13 +22,15 @@ test-short:
 test-race:
 	$(GO) test -race -timeout 20m ./...
 
-# Short fuzz runs of the three decoders with checked-in corpora: the
-# -faults spec parser, the estimator profile loader, and the makespan
-# attribution (explain JSON) decoder.
+# Short fuzz runs of the four fuzz targets with checked-in corpora: the
+# -faults spec parser, the estimator profile loader, the makespan
+# attribution (explain JSON) decoder, and the kernel-vs-oracle scenario
+# differ (byte-decoded concurrent programs run on both sim kernels).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/fault
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadProfile$$' -fuzztime 10s ./internal/estimator
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/span
+	$(GO) test -run '^$$' -fuzz '^FuzzKernelScenario$$' -fuzztime 15s ./internal/sim
 
 # Regenerates BENCH_sweep.json: full-report wall time serial vs parallel,
 # points/sec, speedup, byte-identity, and kernel allocs/op.

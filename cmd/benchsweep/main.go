@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/sim/oracle"
 )
 
 type runResult struct {
@@ -38,17 +39,31 @@ type allocResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// kernelBench compares one hot-path workload across the goroutine oracle
+// (internal/sim/oracle, the pre-rewrite kernel kept for differential
+// testing), the continuation kernel's blocking API and — where a
+// continuation flavour exists — its step API.
+type kernelBench struct {
+	Workload         string  `json:"workload"`
+	Events           int     `json:"events"`
+	OracleNsPerEvent float64 `json:"oracle_ns_per_event"`
+	SimNsPerEvent    float64 `json:"sim_ns_per_event"`
+	StepNsPerEvent   float64 `json:"step_ns_per_event,omitempty"`
+	// Speedup is the best new-kernel flavour relative to the oracle.
+	Speedup float64 `json:"speedup_vs_oracle"`
+}
+
 type summary struct {
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Seed       int64         `json:"seed"`
-	FullScale  bool          `json:"full_scale"`
-	Runs       []runResult   `json:"runs"`
-	Speedup    float64       `json:"parallel_speedup"`
-	Identical  bool          `json:"outputs_identical"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Seed       int64       `json:"seed"`
+	FullScale  bool        `json:"full_scale"`
+	Runs       []runResult `json:"runs"`
+	Speedup    float64     `json:"parallel_speedup"`
+	Identical  bool        `json:"outputs_identical"`
 	// ExplainOverheadPct is the extra wall time of the pooled run with the
 	// observability captures (span collector + trace + metrics) attached,
 	// relative to the plain pooled run. With captures disabled the hook bus
@@ -56,6 +71,7 @@ type summary struct {
 	// paid when -explain/-trace are requested.
 	ExplainOverheadPct float64       `json:"explain_overhead_pct"`
 	SimAllocs          []allocResult `json:"sim_kernel_allocs"`
+	KernelBench        []kernelBench `json:"kernel_vs_oracle"`
 }
 
 // timedRunAll regenerates the full report with the given pool size and
@@ -153,6 +169,116 @@ func zeroSleep() {
 	}
 }
 
+// Continuation (step-API) flavours of the same workloads.
+
+func eventLoopStep() {
+	k := sim.NewKernel(1)
+	for p := 0; p < 4; p++ {
+		left := 1000
+		var step sim.Step
+		step = func(e *sim.Env) sim.Cont {
+			if left == 0 {
+				return sim.Done()
+			}
+			left--
+			return sim.After(sim.Millisecond, step)
+		}
+		k.SpawnStep("worker", step)
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func spawnChurnStep() {
+	k := sim.NewKernel(1)
+	short := func(e *sim.Env) sim.Cont {
+		return sim.After(sim.Microsecond, func(e *sim.Env) sim.Cont { return sim.Done() })
+	}
+	left := 1000
+	var driver sim.Step
+	driver = func(e *sim.Env) sim.Cont {
+		if left == 0 {
+			return sim.Done()
+		}
+		left--
+		e.SpawnStep("short", short)
+		return sim.After(sim.Millisecond, driver)
+	}
+	k.SpawnStep("driver", driver)
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// Oracle (pre-rewrite goroutine kernel) flavours, for the speedup baseline.
+
+func eventLoopOracle() {
+	k := oracle.NewKernel(1)
+	for p := 0; p < 4; p++ {
+		k.Spawn("worker", func(e *oracle.Env) {
+			for s := 0; s < 1000; s++ {
+				e.Sleep(oracle.Millisecond)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func spawnChurnOracle() {
+	k := oracle.NewKernel(1)
+	k.Spawn("driver", func(e *oracle.Env) {
+		for i := 0; i < 1000; i++ {
+			e.Spawn("short", func(e *oracle.Env) { e.Sleep(oracle.Microsecond) })
+			e.Sleep(oracle.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func zeroSleepOracle() {
+	k := oracle.NewKernel(1)
+	k.Spawn("spinner", func(e *oracle.Env) {
+		for i := 0; i < 10000; i++ {
+			e.Sleep(0)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// secsPerRun times fn averaged over reps runs after one warm-up call.
+func secsPerRun(reps int, fn func()) float64 {
+	fn()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start).Seconds() / float64(reps)
+}
+
+// kernelComparison measures ns/event for the oracle, blocking and (when
+// non-nil) step flavours of one workload.
+func kernelComparison(name string, events, reps int, oracleFn, blockFn, stepFn func()) kernelBench {
+	b := kernelBench{Workload: name, Events: events}
+	b.OracleNsPerEvent = secsPerRun(reps, oracleFn) * 1e9 / float64(events)
+	b.SimNsPerEvent = secsPerRun(reps, blockFn) * 1e9 / float64(events)
+	best := b.SimNsPerEvent
+	if stepFn != nil {
+		b.StepNsPerEvent = secsPerRun(reps, stepFn) * 1e9 / float64(events)
+		if b.StepNsPerEvent < best {
+			best = b.StepNsPerEvent
+		}
+	}
+	b.Speedup = b.OracleNsPerEvent / best
+	return b
+}
+
 func main() {
 	var (
 		out     = flag.String("o", "BENCH_sweep.json", "output JSON path ('-' for stdout)")
@@ -185,21 +311,28 @@ func main() {
 		parExplain.WallSeconds, parExplain.Points, parExplain.PointsPerSec)
 
 	s := summary{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       *seed,
-		FullScale:  *full,
+		GoVersion:          runtime.Version(),
+		GOOS:               runtime.GOOS,
+		GOARCH:             runtime.GOARCH,
+		NumCPU:             runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Seed:               *seed,
+		FullScale:          *full,
 		Runs:               []runResult{serial, par, parExplain},
 		Speedup:            serial.WallSeconds / par.WallSeconds,
 		Identical:          serialOut == parOut,
 		ExplainOverheadPct: (parExplain.WallSeconds/par.WallSeconds - 1) * 100,
 		SimAllocs: []allocResult{
 			{"event_loop_4procs_x_1000_sleeps", allocsPerRun(5, eventLoop)},
+			{"event_loop_step_4procs_x_1000_steps", allocsPerRun(5, eventLoopStep)},
 			{"spawn_churn_1000_procs", allocsPerRun(5, spawnChurn)},
+			{"spawn_churn_step_1000_procs", allocsPerRun(5, spawnChurnStep)},
 			{"zero_sleep_10000_yields", allocsPerRun(5, zeroSleep)},
+		},
+		KernelBench: []kernelBench{
+			kernelComparison("event_loop", 4000, 20, eventLoopOracle, eventLoop, eventLoopStep),
+			kernelComparison("spawn_churn", 3000, 20, spawnChurnOracle, spawnChurn, spawnChurnStep),
+			kernelComparison("zero_sleep", 10000, 20, zeroSleepOracle, zeroSleep, nil),
 		},
 	}
 	if !s.Identical {

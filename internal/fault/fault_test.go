@@ -35,31 +35,51 @@ func TestParseAllKinds(t *testing.T) {
 
 func TestParseRejectsMalformed(t *testing.T) {
 	for _, spec := range []string{
-		"slow",                                   // no colon
-		"boom:node=0,at=0,for=1,x=2",             // unknown kind
-		"slow:node=0,at=0,for=1",                 // missing x
-		"slow:node=0,at=0,for=1,x=2,whee=3",      // unknown key
-		"slow:node=0,at=0,for=1,x=2,x=3",         // duplicate key
-		"slow:node=0,at=0,for=1,x=0",             // non-positive factor
-		"slow:node=0,at=-1,for=1,x=2",            // negative start
-		"slow:node=0,at=0,for=0,x=2",             // empty window
-		"slow:node=zero,at=0,for=1,x=2",          // non-integer node
-		"slow:node=0,at=NaN,for=1,x=2",           // NaN time
-		"slow:node=0,at=0,for=1,x=Inf",           // infinite factor
-		"slow:node=0,at=0,for=1,x=2,dev=tpu",     // unknown device class
-		"net:node=0,at=0,for=1",                  // no effect given
-		"net:node=0,at=0,for=1,bw=-1",            // negative bandwidth scale
-		"net:node=0,at=0,for=1,lat=-1ms",         // negative latency
-		"crash:filter=,inst=0,at=0",              // empty filter name
-		"crash:filter=a;b,inst=0,at=0",           // reserved char (splits into 2 bad events)
-		"crash:inst=0,at=0",                      // missing filter
-		"crash:filter=seg,inst=1.5,at=0",         // non-integer instance
-		"slow:node=0,at=0,for=1,x=2;;garbage",    // trailing garbage event
-		"slow:node=0,,at=0,for=1,x=2",            // empty kv entry
-		"slow:node=0,at 0,for=1,x=2",             // entry without '='
+		"slow",                                // no colon
+		"boom:node=0,at=0,for=1,x=2",          // unknown kind
+		"slow:node=0,at=0,for=1",              // missing x
+		"slow:node=0,at=0,for=1,x=2,whee=3",   // unknown key
+		"slow:node=0,at=0,for=1,x=2,x=3",      // duplicate key
+		"slow:node=0,at=0,for=1,x=0",          // non-positive factor
+		"slow:node=0,at=-1,for=1,x=2",         // negative start
+		"slow:node=0,at=0,for=0,x=2",          // empty window
+		"slow:node=zero,at=0,for=1,x=2",       // non-integer node
+		"slow:node=0,at=NaN,for=1,x=2",        // NaN time
+		"slow:node=0,at=0,for=1,x=Inf",        // infinite factor
+		"slow:node=0,at=0,for=1,x=2,dev=tpu",  // unknown device class
+		"net:node=0,at=0,for=1",               // no effect given
+		"net:node=0,at=0,for=1,bw=-1",         // negative bandwidth scale
+		"net:node=0,at=0,for=1,lat=-1ms",      // negative latency
+		"crash:filter=,inst=0,at=0",           // empty filter name
+		"crash:filter=a;b,inst=0,at=0",        // reserved char (splits into 2 bad events)
+		"crash:inst=0,at=0",                   // missing filter
+		"crash:filter=seg,inst=1.5,at=0",      // non-integer instance
+		"slow:node=0,at=0,for=1,x=2;;garbage", // trailing garbage event
+		"slow:node=0,,at=0,for=1,x=2",         // empty kv entry
+		"slow:node=0,at 0,for=1,x=2",          // entry without '='
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestParseUnknownKeyErrorDeterministic: with several unknown keys the
+// reported key must not depend on map iteration order (found auditing for
+// scheduling/iteration-order dependencies — the message previously named a
+// random member of the leftover set).
+func TestParseUnknownKeyErrorDeterministic(t *testing.T) {
+	const spec = "slow:node=0,at=0,for=1,x=2,zz=1,aa=2,mm=3"
+	_, first := Parse(spec)
+	if first == nil {
+		t.Fatalf("Parse(%q) succeeded, want error", spec)
+	}
+	if want := `unknown key "aa" for slow fault`; !strings.HasSuffix(first.Error(), want) {
+		t.Fatalf("Parse(%q) error = %q, want suffix %q", spec, first.Error(), want)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := Parse(spec); err == nil || err.Error() != first.Error() {
+			t.Fatalf("run %d: error %v, want stable %v", i, err, first)
 		}
 	}
 }
@@ -203,8 +223,8 @@ func TestApplyCrashConservesWork(t *testing.T) {
 
 func TestApplyRejectsBadSchedules(t *testing.T) {
 	for _, spec := range []string{
-		"slow:node=9,at=0,for=1,x=2",      // node out of range
-		"pcie:node=1,at=0,for=1,bw=0.5",   // node 1 has no GPU
+		"slow:node=9,at=0,for=1,x=2",    // node out of range
+		"pcie:node=1,at=0,for=1,bw=0.5", // node 1 has no GPU
 		"slow:node=1,at=0,for=1,x=2,dev=gpu",
 		"crash:filter=nosuch,inst=0,at=0",
 		"crash:filter=source,inst=0,at=0", // sources cannot crash

@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -138,8 +139,16 @@ func parseEvent(part string) (Event, error) {
 			return Event{}, err
 		}
 	}
-	for k := range kv {
-		return Event{}, fmt.Errorf("unknown key %q for %s fault", k, kind)
+	if len(kv) > 0 {
+		// Report the smallest leftover key: map iteration order would make
+		// the error message (and anything derived from it) nondeterministic
+		// when several unknown keys are present.
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return Event{}, fmt.Errorf("unknown key %q for %s fault", keys[0], kind)
 	}
 	if ev.Node < 0 {
 		return Event{}, fmt.Errorf("node must be >= 0")

@@ -2,14 +2,16 @@ package sim
 
 // Benchmarks and allocation-regression gates for the kernel hot path. The
 // event loop runs millions of times per experiment sweep, so the typed
-// event heap, the pooled process records and the zero-duration Sleep fast
-// path each get a benchmark plus a hard allocs-per-workload ceiling that
-// fails the test if interface boxing or per-spawn allocation creeps back in.
+// event heap, the pooled process records and the zero-duration fast paths
+// each get a benchmark plus two hard ceilings: an absolute allocs-per-
+// workload budget (catches one-time setup regressions) and a per-event
+// budget (catches anything creeping into the loop itself — the contract is
+// well under 2 allocations per event, and in steady state effectively 0).
 
 import "testing"
 
-// eventLoopWorkload runs procs processes that each sleep `sleeps` times,
-// exercising the heap push/pop and hand-off machinery.
+// eventLoopWorkload runs procs blocking processes that each sleep `sleeps`
+// times, exercising the heap push/pop and coroutine hand-off machinery.
 func eventLoopWorkload(procs, sleeps int) {
 	k := NewKernel(1)
 	for p := 0; p < procs; p++ {
@@ -24,9 +26,31 @@ func eventLoopWorkload(procs, sleeps int) {
 	}
 }
 
-// spawnChurnWorkload spawns n short-lived processes strictly in sequence,
-// the pattern message- and transfer-handlers follow; with record pooling
-// only the first allocates.
+// eventLoopStepWorkload is the same event pattern as eventLoopWorkload but
+// with continuation processes: each dispatch is a heap pop plus a direct
+// call, no stack switch.
+func eventLoopStepWorkload(procs, sleeps int) {
+	k := NewKernel(1)
+	for p := 0; p < procs; p++ {
+		left := sleeps
+		var step Step
+		step = func(e *Env) Cont {
+			if left == 0 {
+				return Done()
+			}
+			left--
+			return After(Millisecond, step)
+		}
+		k.SpawnStep("worker", step)
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// spawnChurnWorkload spawns n short-lived blocking processes strictly in
+// sequence, the pattern message- and transfer-handlers follow; with record
+// pooling only the first allocates a record and coroutine.
 func spawnChurnWorkload(n int) {
 	k := NewKernel(1)
 	k.Spawn("driver", func(e *Env) {
@@ -40,8 +64,32 @@ func spawnChurnWorkload(n int) {
 	}
 }
 
-// zeroSleepWorkload is a single process yielding n times with nothing else
-// scheduled, so every Sleep(0) takes the no-handoff fast path.
+// spawnChurnStepWorkload is spawnChurnWorkload with continuation processes
+// on both sides: the cheapest way to run per-message activities.
+func spawnChurnStepWorkload(n int) {
+	k := NewKernel(1)
+	short := func(e *Env) Cont {
+		return After(Microsecond, func(e *Env) Cont { return Done() })
+	}
+	left := n
+	var driver Step
+	driver = func(e *Env) Cont {
+		if left == 0 {
+			return Done()
+		}
+		left--
+		e.SpawnStep("short", short)
+		return After(Millisecond, driver)
+	}
+	k.SpawnStep("driver", driver)
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// zeroSleepWorkload is a single blocking process yielding n times with
+// nothing else scheduled, so every Sleep(0) takes the no-reschedule fast
+// path (one coroutine switch out and back per yield, no heap traffic).
 func zeroSleepWorkload(n int) {
 	k := NewKernel(1)
 	k.Spawn("spinner", func(e *Env) {
@@ -54,10 +102,37 @@ func zeroSleepWorkload(n int) {
 	}
 }
 
+// zeroAfterStepWorkload is the continuation analogue of zeroSleepWorkload:
+// After(0, ...) with an empty queue trampolines inline — no heap traffic,
+// no switch of any kind.
+func zeroAfterStepWorkload(n int) {
+	k := NewKernel(1)
+	left := n
+	var spin Step
+	spin = func(e *Env) Cont {
+		if left == 0 {
+			return Done()
+		}
+		left--
+		return After(0, spin)
+	}
+	k.SpawnStep("spinner", spin)
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
 func BenchmarkEventLoop(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eventLoopWorkload(4, 1000)
+	}
+}
+
+func BenchmarkEventLoopStep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eventLoopStepWorkload(4, 1000)
 	}
 }
 
@@ -68,6 +143,13 @@ func BenchmarkSpawnChurn(b *testing.B) {
 	}
 }
 
+func BenchmarkSpawnChurnStep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spawnChurnStepWorkload(1000)
+	}
+}
+
 func BenchmarkZeroSleep(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -75,41 +157,77 @@ func BenchmarkZeroSleep(b *testing.B) {
 	}
 }
 
-// allocCeiling asserts the workload stays under a fixed allocation budget.
-func allocCeiling(t *testing.T, name string, limit float64, fn func()) {
+func BenchmarkZeroAfterStep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		zeroAfterStepWorkload(10000)
+	}
+}
+
+// allocCeiling asserts the workload stays under both a fixed absolute
+// allocation budget and a per-event budget of 2 allocations.
+func allocCeiling(t *testing.T, name string, limit float64, events int, fn func()) {
 	t.Helper()
 	if raceEnabled {
 		t.Skip("allocation thresholds are not meaningful under -race")
 	}
-	if got := testing.AllocsPerRun(10, fn); got > limit {
+	got := testing.AllocsPerRun(10, fn)
+	if got > limit {
 		t.Errorf("%s: %.0f allocs per run, want <= %.0f", name, got, limit)
+	}
+	if perEvent := got / float64(events); perEvent > 2 {
+		t.Errorf("%s: %.3f allocs per event, want <= 2", name, perEvent)
 	}
 }
 
 // TestEventLoopAllocs pins the cost of 4000 scheduled events. The budget
-// covers kernel setup (records, channels, heap growth) only: the
-// container/heap implementation this replaced boxed one interface value per
-// push, i.e. >= 4000 allocations in this workload.
+// covers kernel setup (records, coroutines, heap growth) only — about 0.02
+// allocations per event; the container/heap implementation this replaced
+// boxed one interface value per push, i.e. >= 4000 allocations here.
 func TestEventLoopAllocs(t *testing.T) {
-	allocCeiling(t, "event loop (4 procs x 1000 sleeps)", 200, func() {
+	allocCeiling(t, "event loop (4 procs x 1000 sleeps)", 110, 4000, func() {
 		eventLoopWorkload(4, 1000)
 	})
 }
 
+// TestEventLoopStepAllocs pins the continuation flavour of the same
+// workload: no coroutines at all, so the budget is tighter still.
+func TestEventLoopStepAllocs(t *testing.T) {
+	allocCeiling(t, "step event loop (4 procs x 1000 steps)", 50, 4000, func() {
+		eventLoopStepWorkload(4, 1000)
+	})
+}
+
 // TestSpawnPoolingAllocs pins the cost of 1000 sequential short-lived
-// spawns. Without record pooling each spawn allocates a record, a resume
-// channel and a goroutine stack (>= 3000 allocations); with pooling the
-// whole run reuses one record.
+// spawns. Without record pooling each spawn allocates a record, a coroutine
+// and closures (>= 3000 allocations); with pooling the whole run reuses one
+// record.
 func TestSpawnPoolingAllocs(t *testing.T) {
-	allocCeiling(t, "spawn churn (1000 short-lived procs)", 120, func() {
+	allocCeiling(t, "spawn churn (1000 short-lived procs)", 60, 3000, func() {
 		spawnChurnWorkload(1000)
+	})
+}
+
+// TestSpawnPoolingStepAllocs pins continuation-process pooling: 1000
+// spawned-and-finished step processes reuse one pooled record.
+func TestSpawnPoolingStepAllocs(t *testing.T) {
+	allocCeiling(t, "step spawn churn (1000 short-lived procs)", 40, 3000, func() {
+		spawnChurnStepWorkload(1000)
 	})
 }
 
 // TestZeroSleepAllocs pins the fast path: 10000 yields with an empty event
 // queue must not touch the heap at all.
 func TestZeroSleepAllocs(t *testing.T) {
-	allocCeiling(t, "zero-duration sleep fast path (10000 yields)", 60, func() {
+	allocCeiling(t, "zero-duration sleep fast path (10000 yields)", 35, 10000, func() {
 		zeroSleepWorkload(10000)
+	})
+}
+
+// TestZeroAfterStepAllocs pins the inline trampoline: 10000 zero-delay
+// continuations with an empty event queue.
+func TestZeroAfterStepAllocs(t *testing.T) {
+	allocCeiling(t, "zero-delay step trampoline (10000 steps)", 25, 10000, func() {
+		zeroAfterStepWorkload(10000)
 	})
 }

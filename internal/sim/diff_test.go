@@ -1,0 +1,236 @@
+package sim_test
+
+// Differential tests: every scenario program must behave identically on the
+// continuation-based kernel and on the frozen goroutine oracle — same trace
+// of operations (with virtual timestamps), same RNG draws, same final
+// virtual time, same error (including panic messages and kill order).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+const kernelSeed = 42
+
+// checkKernelVsOracle runs p on both kernels and fails on any divergence.
+func checkKernelVsOracle(t *testing.T, p prog) {
+	t.Helper()
+	simTrace := runProgBlocking(p, newSimKern, kernelSeed)
+	oraTrace := runProgBlocking(p, newOraKern, kernelSeed)
+	if i := firstDiff(simTrace, oraTrace); i >= 0 {
+		t.Fatal(diffReport(p, "kernel vs oracle", simTrace, oraTrace, i))
+	}
+}
+
+// checkStepVsBlocking runs p on the new kernel in blocking, continuation and
+// mixed flavours and fails on any divergence (kill-unwind lines filtered:
+// continuation processes hold no stack to unwind).
+func checkStepVsBlocking(t *testing.T, p prog) {
+	t.Helper()
+	base := stripKills(runProgBlocking(p, newSimKern, kernelSeed))
+	for name, fl := range map[string]flavor{"step": allStep, "mixed": alternating} {
+		got := stripKills(runProgStep(p, kernelSeed, fl))
+		if i := firstDiff(base, got); i >= 0 {
+			t.Fatal(diffReport(p, "blocking vs "+name, base, got, i))
+		}
+	}
+}
+
+// TestDiffRandomPrograms drives both kernels with seeded random byte
+// programs. 400 programs cover a few thousand processes and tens of
+// thousands of kernel events.
+func TestDiffRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for i := 0; i < 400; i++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		p := decodeProgram(data)
+		checkKernelVsOracle(t, p)
+	}
+}
+
+// TestDiffRandomProgramsStep re-runs a slice of the random corpus in
+// continuation and mixed flavours against the blocking flavour.
+func TestDiffRandomProgramsStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		p := decodeProgram(data)
+		checkStepVsBlocking(t, p)
+	}
+}
+
+// fixedCorpus returns hand-written regression scenarios, each pinning one
+// scheduling contract that random programs only hit by chance.
+func fixedCorpus() map[string]prog {
+	sleep := func(d float64) instr { return instr{op: opSleep, d: d} }
+	put := func(ch, v int) instr { return instr{op: opPut, a: ch, b: v} }
+	get := func(ch int) instr { return instr{op: opGet, a: ch} }
+
+	return map[string]prog{
+		// Two producers and one consumer across a rendezvous channel:
+		// hand-off order and put-completion times are fully determined.
+		"rendezvous": {
+			chanCaps: []int{0},
+			scripts: [][]instr{
+				{put(0, 1), put(0, 2), sleep(1), put(0, 3)},
+				{put(0, 10), put(0, 20)},
+				{sleep(0.5), get(0), get(0), get(0), get(0), sleep(1), get(0)},
+			},
+			roots:   3,
+			horizon: -1,
+		},
+		// Buffered channel with close: buffered items stay retrievable,
+		// blocked getters wake with ok=false in FIFO order.
+		"close-drain": {
+			chanCaps: []int{2},
+			scripts: [][]instr{
+				{put(0, 1), put(0, 2), sleep(2), {op: opClose, a: 0}},
+				{sleep(1), get(0), get(0), get(0)},
+				{sleep(1), get(0)},
+			},
+			roots:   3,
+			horizon: -1,
+		},
+		// Resource convoy on capacity 1: strict FIFO admission; one holder
+		// never releases so waiters are killed at shutdown (kill order must
+		// match too).
+		"resource-convoy": {
+			resCaps: []int{1},
+			scripts: [][]instr{
+				{{op: opAcquire, a: 0}, sleep(1), {op: opRelease, a: 0}},
+				{sleep(0.25), {op: opAcquire, a: 0}, sleep(1), {op: opRelease, a: 0}},
+				{sleep(0.5), {op: opAcquire, a: 0}}, // leaks the unit
+				{sleep(0.75), {op: opAcquire, a: 0}, {op: opRelease, a: 0}},
+			},
+			roots:   4,
+			horizon: -1,
+		},
+		// Same-instant wakeups: a fired signal releases all waiters at one
+		// timestamp; dispatch order must follow wait order.
+		"signal-broadcast": {
+			nSigs: 1,
+			scripts: [][]instr{
+				{{op: opSigWait, a: 0}, {op: opRand}},
+				{{op: opSigWait, a: 0}, {op: opRand}},
+				{sleep(1), {op: opSigFire, a: 0}, {op: opSigWait, a: 0}},
+				{sleep(2), {op: opSigWait, a: 0}},
+			},
+			roots:   4,
+			horizon: -1,
+		},
+		// Cond notify-one vs notify-all with re-waiting waiters.
+		"cond-notify": {
+			nConds: 1,
+			scripts: [][]instr{
+				{{op: opCondWait, a: 0}, {op: opCondWait, a: 0}},
+				{{op: opCondWait, a: 0}},
+				{sleep(1), {op: opNotifyOne, a: 0}, sleep(1), {op: opNotifyAll, a: 0}, sleep(1), {op: opNotifyAll, a: 0}},
+			},
+			roots:   3,
+			horizon: -1,
+		},
+		// WaitGroup join: waiter blocks until the last Done at t=2.
+		"waitgroup-join": {
+			wgAdds: []int{2},
+			scripts: [][]instr{
+				{{op: opWGWait, a: 0}, {op: opRand}},
+				{sleep(1), {op: opWGDone, a: 0}},
+				{sleep(2), {op: opWGDone, a: 0}, {op: opWGWait, a: 0}},
+			},
+			roots:   3,
+			horizon: -1,
+		},
+		// Spawn trees: children start at the current instant behind queued
+		// same-time events; RNG draws interleave across the tree.
+		"spawn-tree": {
+			scripts: [][]instr{
+				{{op: opRand}, {op: opSpawn, a: 1}, {op: opSpawn, a: 2}, {op: opRand}},
+				{{op: opRand}, {op: opSpawn, a: 2}, sleep(0.25), {op: opRand}},
+				{{op: opRand}, {op: opYield}, {op: opRand}},
+			},
+			roots:   1,
+			horizon: -1,
+		},
+		// A panic mid-run: the failure (message included) and the partial
+		// trace before it must match; remaining processes are killed.
+		"panic-midway": {
+			chanCaps: []int{0},
+			scripts: [][]instr{
+				{sleep(1), {op: opPanic}},
+				{get(0), {op: opRand}},
+				{sleep(2), put(0, 7)},
+			},
+			roots:   3,
+			horizon: -1,
+		},
+		// Horizon cut: events strictly after the horizon never run; blocked
+		// and sleeping processes are killed at the cut.
+		"horizon-cut": {
+			chanCaps: []int{0},
+			scripts: [][]instr{
+				{sleep(0.75), {op: opRand}, sleep(0.75), {op: opRand}, sleep(2), {op: opRand}},
+				{get(0)},
+				{sleep(1), put(0, 5), sleep(5), {op: opRand}},
+			},
+			roots:   3,
+			horizon: 2.0,
+		},
+		// Zero-duration sleeps and yields at one instant: the fast path
+		// (no reschedule when nothing else is pending) must not reorder
+		// same-time processes.
+		"zero-sleep-ties": {
+			scripts: [][]instr{
+				{sleep(0), {op: opRand}, {op: opYield}, {op: opRand}, sleep(0), {op: opRand}},
+				{{op: opRand}, sleep(0), {op: opRand}, {op: opYield}, {op: opRand}},
+				{{op: opYield}, {op: opRand}, sleep(0), {op: opRand}},
+			},
+			roots:   3,
+			horizon: -1,
+		},
+		// TryGet polling alongside blocking getters.
+		"tryget-poll": {
+			chanCaps: []int{1},
+			scripts: [][]instr{
+				{{op: opTryGet, a: 0}, sleep(0.5), {op: opTryGet, a: 0}, sleep(1), {op: opTryGet, a: 0}},
+				{get(0), get(0)},
+				{sleep(0.25), put(0, 1), put(0, 2), put(0, 3)},
+			},
+			roots:   3,
+			horizon: -1,
+		},
+	}
+}
+
+// TestDiffFixedCorpus pins the regression scenarios against the oracle.
+func TestDiffFixedCorpus(t *testing.T) {
+	for name, p := range fixedCorpus() {
+		t.Run(name, func(t *testing.T) { checkKernelVsOracle(t, p) })
+	}
+}
+
+// TestDiffFixedCorpusStep pins the same scenarios across process flavours
+// on the new kernel.
+func TestDiffFixedCorpusStep(t *testing.T) {
+	for name, p := range fixedCorpus() {
+		t.Run(name, func(t *testing.T) { checkStepVsBlocking(t, p) })
+	}
+}
+
+// TestDiffDeterministicReplay re-runs one random program many times on the
+// new kernel and requires bit-identical traces — the kernel must not leak
+// host scheduling or map-iteration nondeterminism into results.
+func TestDiffDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 160)
+	rng.Read(data)
+	p := decodeProgram(data)
+	base := runProgBlocking(p, newSimKern, kernelSeed)
+	for i := 0; i < 20; i++ {
+		got := runProgBlocking(p, newSimKern, kernelSeed)
+		if j := firstDiff(base, got); j >= 0 {
+			t.Fatal(diffReport(p, "replay", base, got, j))
+		}
+	}
+}

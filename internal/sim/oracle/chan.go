@@ -1,13 +1,9 @@
-package sim
+package oracle
 
 // Chan is a blocking FIFO channel between simulated processes, analogous to
 // a Go channel but operating in virtual time. A capacity of zero gives
 // rendezvous semantics. All operations must be called from simulated
 // processes of the same kernel.
-//
-// The wait queues are continuation-aware: blocking processes (Put/Get) and
-// continuation processes (PutThen/GetThen) share the same FIFO queues, so
-// wakeup order is a single discipline regardless of process flavour.
 type Chan[T any] struct {
 	k        *Kernel
 	capacity int
@@ -46,40 +42,6 @@ func (c *Chan[T]) Closed() bool { return c.closed }
 // Put delivers v, blocking while the buffer is full (or, for capacity zero,
 // until a getter arrives). Put on a closed channel panics.
 func (c *Chan[T]) Put(e *Env, v T) {
-	if c.putReady(v) {
-		return
-	}
-	w := &chanPutter[T]{p: e.p, val: v}
-	c.putQ = append(c.putQ, w)
-	c.k.park(e.p)
-	if c.closed {
-		panic("sim: channel closed while put blocked")
-	}
-}
-
-// PutThen is the continuation form of Put: it delivers v (immediately when
-// there is room or a waiting getter, otherwise after blocking in the same
-// FIFO putter queue) and then runs the next step. Steps must return the
-// directive PutThen returns.
-func (c *Chan[T]) PutThen(e *Env, v T, next Step) Cont {
-	if c.putReady(v) {
-		return next(e)
-	}
-	w := &chanPutter[T]{p: e.p, val: v}
-	c.putQ = append(c.putQ, w)
-	e.p.step = func(e *Env) Cont {
-		if c.closed {
-			panic("sim: channel closed while put blocked")
-		}
-		return next(e)
-	}
-	return Blocked()
-}
-
-// putReady performs the non-blocking part of a put: direct hand-off to a
-// waiting getter or insertion into buffer space. It reports whether v was
-// delivered; panics if the channel is closed.
-func (c *Chan[T]) putReady(v T) bool {
 	if c.closed {
 		panic("sim: put on closed channel")
 	}
@@ -90,13 +52,18 @@ func (c *Chan[T]) putReady(v T) bool {
 		c.getQ = c.getQ[1:]
 		g.val, g.ok, g.hit = v, true, true
 		c.k.schedule(c.k.now, g.p)
-		return true
+		return
 	}
 	if len(c.buf) < c.capacity {
 		c.buf = append(c.buf, v)
-		return true
+		return
 	}
-	return false
+	w := &chanPutter[T]{p: e.p, val: v}
+	c.putQ = append(c.putQ, w)
+	c.k.park(e.p)
+	if c.closed {
+		panic("sim: channel closed while put blocked")
+	}
 }
 
 // Get removes and returns the next value. It blocks while the channel is
@@ -119,28 +86,6 @@ func (c *Chan[T]) Get(e *Env) (T, bool) {
 		// Spurious wakeup is impossible in this kernel, but the loop also
 		// covers the close-while-waiting path where hit is set with ok=false.
 	}
-}
-
-// GetThen is the continuation form of Get: it runs next with the received
-// value (immediately when one is available, otherwise after waiting in the
-// same FIFO getter queue) or with ok=false once the channel is closed and
-// drained. Steps must return the directive GetThen returns.
-func (c *Chan[T]) GetThen(e *Env, next func(e *Env, v T, ok bool) Cont) Cont {
-	if v, ok := c.takeReady(); ok {
-		return next(e, v, true)
-	}
-	if c.closed {
-		var zero T
-		return next(e, zero, false)
-	}
-	g := &chanGetter[T]{p: e.p}
-	c.getQ = append(c.getQ, g)
-	e.p.step = func(e *Env) Cont {
-		// Delivery (or close) set g.val/g.ok before waking us; spurious
-		// wakeups are impossible, matching the blocking Get loop.
-		return next(e, g.val, g.ok)
-	}
-	return Blocked()
 }
 
 // TryGet is the non-blocking variant of Get: ok=false means no value was

@@ -1,0 +1,412 @@
+// Package oracle is the frozen goroutine-per-process reference kernel that
+// internal/sim replaced. It is kept verbatim (modulo the package name) as
+// the differential-testing oracle: the randomized scenario programs in
+// internal/sim's test suite run on both kernels and must produce identical
+// event traces, final virtual times, RNG draw sequences and failures.
+//
+// Do not optimize or extend this package. Its value is that it is the old,
+// battle-tested implementation: every semantic contract of the kernel
+// (same-timestamp FIFO dispatch, wait-queue wakeup order, kill/unwind order
+// at shutdown, panic propagation) is pinned by comparing the new kernel
+// against it. Bug fixes that change observable behaviour must be applied to
+// both kernels in lockstep, with a regression scenario added to the corpus.
+//
+// Simulated processes are goroutines that cooperate with the kernel through
+// a strict hand-off protocol: at any instant exactly one goroutine (either
+// the kernel or a single process) is running, so simulations are fully
+// deterministic for a fixed seed regardless of GOMAXPROCS.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in virtual time, in seconds. Durations are also expressed
+// as Time; the zero value is the simulation epoch.
+type Time float64
+
+// Seconds returns t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Milliseconds returns t as a float64 number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) * 1e3 }
+
+// Microsecond, Millisecond and Second are convenience duration units.
+const (
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateParked
+	stateDone
+	// statePooled marks a finished process whose record and goroutine are
+	// parked in the kernel's free list, awaiting reuse by a future Spawn.
+	statePooled
+)
+
+// proc is the kernel-side record of one simulated process. Records are
+// reused across process lifetimes (see Kernel.free), so every mutable field
+// is reset by Spawn.
+type proc struct {
+	id     int
+	name   string
+	state  procState
+	resume chan struct{}
+	killed bool
+	fn     func(*Env)
+	env    Env
+}
+
+// killSentinel is the panic value used to unwind killed processes.
+type killSentinel struct{}
+
+// procPanic wraps a panic raised inside a simulated process so the kernel
+// can report which process failed.
+type procPanic struct {
+	name  string
+	value any
+}
+
+func (p procPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", p.name, p.value)
+}
+
+type event struct {
+	at   Time
+	seq  uint64
+	proc *proc
+	// id is the proc incarnation the wakeup belongs to. Process records are
+	// pooled and reused (with a fresh id per Spawn), so a wakeup is stale —
+	// and must be dropped — unless the record still runs the same
+	// incarnation.
+	id int
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is a concrete
+// implementation rather than a container/heap adapter so Push/Pop move
+// event values directly, with no interface boxing and no per-event
+// allocation.
+type eventHeap []event
+
+// before reports whether element i must pop before element j.
+func (h eventHeap) before(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && h.before(r, l) {
+			min = r
+		}
+		if !h.before(min, i) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+func (h *eventHeap) pushEvent(e event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) popMin() event {
+	old := *h
+	min := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // drop the proc pointer so pooled records can be collected
+	*h = old[:n]
+	if n > 1 {
+		old[:n].down(0)
+	}
+	return min
+}
+
+// Kernel is a discrete-event simulation instance. Create one with NewKernel,
+// spawn processes with Spawn, then call Run from the goroutine that created
+// it. A Kernel must not be reused after Run returns.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{}
+	procs   []*proc
+	free    []*proc
+	live    int
+	idgen   int
+	failure error
+	rng     *rand.Rand
+	running bool
+}
+
+// NewKernel returns a kernel whose processes draw randomness from the given
+// seed. The same seed always yields an identical execution.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from simulated processes or between Run calls, never concurrently.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Spawn registers a new process. It may be called before Run or from inside
+// a running process (usually via Env.Spawn). The process starts at the
+// current virtual time, after previously scheduled same-time events.
+//
+// Finished process records (and their goroutines) are reused, so workloads
+// that spawn one short-lived process per message or transfer do not pay a
+// record, channel and goroutine allocation each time.
+func (k *Kernel) Spawn(name string, fn func(*Env)) {
+	var p *proc
+	if n := len(k.free); n > 0 {
+		p = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		p.name = name
+		p.state = stateNew
+		p.killed = false
+	} else {
+		p = &proc{
+			state:  stateNew,
+			name:   name,
+			resume: make(chan struct{}),
+		}
+		p.env = Env{k: k, p: p}
+		k.procs = append(k.procs, p)
+		go k.procLoop(p)
+	}
+	// Fresh id even on reuse: ids stay monotonic so the deterministic
+	// shutdown kill order reflects spawn order.
+	p.id = k.idgen
+	k.idgen++
+	p.fn = fn
+	k.live++
+	k.schedule(k.now, p)
+}
+
+// procLoop is the body of one process goroutine. It runs successive process
+// incarnations assigned to this record; between incarnations the record
+// sits in the kernel's free list with the goroutine parked on p.resume.
+func (k *Kernel) procLoop(p *proc) {
+	for {
+		<-p.resume
+		if p.killed {
+			if p.state == statePooled {
+				// Shutdown of an idle pooled worker: no incarnation is
+				// live, so there is no state to unwind and no hand-off —
+				// the kernel is not waiting on yield for pooled records.
+				return
+			}
+			// Killed before the incarnation first ran: unwind as if the
+			// body had been killed at its first instruction.
+			p.state = stateDone
+			k.live--
+			k.yield <- struct{}{}
+			return
+		}
+		if !k.runBody(p) {
+			return
+		}
+	}
+}
+
+// runBody executes the current incarnation and reports whether the record
+// was returned to the pool (false means the goroutine must exit: the
+// incarnation was killed or panicked, which only happens during shutdown
+// or failure unwinding).
+func (k *Kernel) runBody(p *proc) (pooled bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killSentinel); !isKill {
+				if k.failure == nil {
+					k.failure = procPanic{name: p.name, value: r}
+				}
+			}
+			pooled = false
+			p.state = stateDone
+		} else {
+			// Normal completion: pool the record for the next Spawn. This
+			// runs while the kernel is blocked on yield, so touching the
+			// free list here is part of the single-runner hand-off.
+			p.state = statePooled
+			k.free = append(k.free, p)
+			pooled = true
+		}
+		p.fn = nil
+		k.live--
+		k.yield <- struct{}{}
+	}()
+	p.state = stateRunning
+	p.fn(&p.env)
+	return
+}
+
+// schedule enqueues a wakeup for p at time t.
+func (k *Kernel) schedule(t Time, p *proc) {
+	if t < k.now {
+		t = k.now
+	}
+	p.state = stateRunnable
+	k.events.pushEvent(event{at: t, seq: k.seq, proc: p, id: p.id})
+	k.seq++
+}
+
+// park suspends the calling process until the kernel resumes it. It must be
+// called with the process already registered on some wait list or scheduled.
+func (k *Kernel) park(p *proc) {
+	p.state = stateParked
+	k.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	p.state = stateRunning
+}
+
+// Run executes events until none remain. It returns the first process panic
+// as an error, if any. Processes still blocked when the event queue drains
+// are killed (their deferred functions run) before Run returns.
+func (k *Kernel) Run() error { return k.RunUntil(-1) }
+
+// RunUntil executes events with virtual timestamps <= horizon; a negative
+// horizon means "run to completion". Remaining processes are killed before
+// returning, so the kernel cannot be resumed afterwards.
+func (k *Kernel) RunUntil(horizon Time) error {
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	for k.failure == nil && len(k.events) > 0 {
+		e := k.events.popMin()
+		if horizon >= 0 && e.at > horizon {
+			k.events.pushEvent(e)
+			break
+		}
+		if e.proc.id != e.id || e.proc.state == stateDone || e.proc.state == statePooled {
+			continue // stale wakeup: the incarnation it was for is gone
+		}
+		k.now = e.at
+		k.dispatch(e.proc)
+	}
+	k.shutdown()
+	return k.failure
+}
+
+// dispatch hands control to p and waits for it to yield back.
+func (k *Kernel) dispatch(p *proc) {
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// shutdown kills every process that is still alive so that no goroutines
+// leak past Run, then releases the pooled worker goroutines.
+func (k *Kernel) shutdown() {
+	// Kill in a stable order for determinism of any side effects in defers.
+	alive := make([]*proc, 0, len(k.procs))
+	for _, p := range k.procs {
+		if p.state != stateDone && p.state != statePooled {
+			alive = append(alive, p)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].id < alive[j].id })
+	for _, p := range alive {
+		p.killed = true
+		k.dispatch(p)
+	}
+	// Pooled records hold idle goroutines parked on resume; wake each one
+	// so it exits. No yield hand-off happens on this path (no user code
+	// runs), so a plain send suffices.
+	for _, p := range k.procs {
+		if p.state == statePooled {
+			p.killed = true
+			p.resume <- struct{}{}
+		}
+	}
+	k.free = nil
+}
+
+// Env is a process's handle to the kernel. One Env belongs to exactly one
+// process; it must not be shared across processes.
+type Env struct {
+	k *Kernel
+	p *proc
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.k.now }
+
+// Kernel returns the kernel this process runs on, for constructing
+// synchronization primitives from inside a process.
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// Rand returns the kernel's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.k.rng }
+
+// Name returns the name the process was spawned with.
+func (e *Env) Name() string { return e.p.name }
+
+// Sleep suspends the calling process for d of virtual time. Negative
+// durations sleep zero time (the process still yields, so same-time events
+// scheduled earlier run first).
+func (e *Env) Sleep(d Time) {
+	k := e.k
+	if d <= 0 {
+		// Fast path: yielding only matters if another event is pending at
+		// the current instant. The heap's minimum is never earlier than
+		// now, so if the top (if any) is strictly later, this process
+		// would be rescheduled and immediately re-dispatched — skip the
+		// two goroutine hand-offs and keep running.
+		if len(k.events) == 0 || k.events[0].at > k.now {
+			return
+		}
+		k.schedule(k.now, e.p)
+		k.park(e.p)
+		return
+	}
+	k.schedule(k.now+d, e.p)
+	k.park(e.p)
+}
+
+// Yield reschedules the process at the current time behind already-queued
+// same-time events. Useful to let other runnable processes make progress.
+func (e *Env) Yield() { e.Sleep(0) }
+
+// Spawn starts a new process at the current virtual time.
+func (e *Env) Spawn(name string, fn func(*Env)) { e.k.Spawn(name, fn) }

@@ -1,9 +1,4 @@
-package sim
-
-// Synchronization primitives over virtual time. Wait queues are
-// continuation-aware: blocking processes (Acquire/Wait) and continuation
-// processes (AcquireThen/WaitThen) share the same FIFO queues, so admission
-// and wakeup order is one discipline across process flavours.
+package oracle
 
 // Resource is a counting semaphore over virtual time with FIFO admission.
 // It models exclusive or bounded-concurrency hardware such as a bus, a DMA
@@ -38,20 +33,6 @@ func (r *Resource) Acquire(e *Env) {
 	r.waitQ = append(r.waitQ, e.p)
 	r.k.park(e.p)
 	// The releaser transferred its unit to us; inUse stays constant.
-}
-
-// AcquireThen is the continuation form of Acquire: it obtains one unit
-// (immediately when free, otherwise after waiting in the same FIFO queue)
-// and then runs the next step. Steps must return the directive AcquireThen
-// returns.
-func (r *Resource) AcquireThen(e *Env, next Step) Cont {
-	if r.inUse < r.capacity && len(r.waitQ) == 0 {
-		r.inUse++
-		return next(e)
-	}
-	r.waitQ = append(r.waitQ, e.p)
-	e.p.step = next // the releaser transfers its unit; inUse stays constant
-	return Blocked()
 }
 
 // Release returns one unit and admits the longest-waiting process, if any.
@@ -98,18 +79,6 @@ func (s *Signal) Wait(e *Env) {
 	s.k.park(e.p)
 }
 
-// WaitThen is the continuation form of Wait: it runs next once the signal
-// has fired (immediately if it already has). Steps must return the
-// directive WaitThen returns.
-func (s *Signal) WaitThen(e *Env, next Step) Cont {
-	if s.fired {
-		return next(e)
-	}
-	s.waiters = append(s.waiters, e.p)
-	e.p.step = next
-	return Blocked()
-}
-
 // Fire releases all current and future waiters. Firing twice is a no-op.
 func (s *Signal) Fire() {
 	if s.fired {
@@ -124,9 +93,7 @@ func (s *Signal) Fire() {
 
 // Cond is a condition variable for the cooperative kernel: because only one
 // process runs at a time no mutex is needed, but waiters must re-check their
-// predicate after waking (NotifyAll wakes every waiter). Continuation
-// waiters likewise re-check in their continuation and re-register with
-// WaitThen when the predicate still does not hold.
+// predicate after waking (NotifyAll wakes every waiter).
 type Cond struct {
 	k       *Kernel
 	waiters []*proc
@@ -139,14 +106,6 @@ func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
 func (c *Cond) Wait(e *Env) {
 	c.waiters = append(c.waiters, e.p)
 	c.k.park(e.p)
-}
-
-// WaitThen is the continuation form of Wait: it runs next after the next
-// notify. Steps must return the directive WaitThen returns.
-func (c *Cond) WaitThen(e *Env, next Step) Cont {
-	c.waiters = append(c.waiters, e.p)
-	e.p.step = next
-	return Blocked()
 }
 
 // NotifyAll wakes every currently waiting process.
@@ -201,16 +160,4 @@ func (w *WaitGroup) Wait(e *Env) {
 	}
 	w.done = append(w.done, e.p)
 	w.k.park(e.p)
-}
-
-// WaitThen is the continuation form of Wait: it runs next once the counter
-// is zero (immediately if it already is). Steps must return the directive
-// WaitThen returns.
-func (w *WaitGroup) WaitThen(e *Env, next Step) Cont {
-	if w.count == 0 {
-		return next(e)
-	}
-	w.done = append(w.done, e.p)
-	e.p.step = next
-	return Blocked()
 }

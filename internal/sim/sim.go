@@ -1,27 +1,49 @@
 // Package sim provides a deterministic, virtual-time discrete-event
 // simulation kernel in the style of SimPy.
 //
-// Simulated processes are goroutines that cooperate with the kernel through a
-// strict hand-off protocol: at any instant exactly one goroutine (either the
-// kernel or a single process) is running, so simulations are fully
-// deterministic for a fixed seed regardless of GOMAXPROCS.
+// The kernel is continuation-based: a single event loop owns virtual time
+// and dispatches resumable processes directly, with no per-event channel
+// rendezvous and no goroutine parking through the Go scheduler. Processes
+// come in two flavours that interoperate freely on the same kernel and the
+// same wait queues:
 //
-// A process is any function with signature func(*Env). It advances virtual
-// time with Env.Sleep, communicates through Chan, and synchronizes with
-// Resource, Signal and Cond. The kernel runs until no scheduled events
-// remain (or an explicit horizon is reached); processes still blocked at
-// that point are killed cleanly so goroutines are not leaked.
+//   - Blocking processes (Spawn) are ordinary functions with signature
+//     func(*Env) that call Sleep, Chan.Put/Get, Resource.Acquire and the
+//     other blocking primitives. They run on runtime coroutines (iter.Pull):
+//     a blocking call suspends the process with a direct stack switch and
+//     the event loop resumes it the same way. This keeps the classic
+//     SimPy-style API source-compatible while costing a fraction of the
+//     goroutine/channel hand-off it replaces.
 //
-// The kernel's event loop is the hot path of every experiment sweep, so it
-// avoids allocation: the event queue is a concrete typed binary heap (no
-// container/heap interface boxing), completed process records and their
-// goroutines are pooled for reuse by later Spawns, and a zero-duration
-// Sleep returns immediately when no other event is pending at the current
-// instant instead of paying two goroutine hand-offs.
+//   - Continuation processes (SpawnStep) are explicit state machines: a
+//     Step function runs without blocking and returns a Cont directive
+//     (Done, After, Blocked) naming the next step. The event loop invokes
+//     steps inline — a dispatch is a heap pop plus a function call — so
+//     hot-path processes pay no stack switch at all. The *Then variants of
+//     the synchronization primitives (Chan.GetThen, Resource.AcquireThen,
+//     ...) arm the continuation and share FIFO wait queues with blocking
+//     callers, so wakeup ordering is identical across flavours.
+//
+// Determinism is unchanged from the goroutine kernel this replaced (kept as
+// the differential oracle in internal/sim/oracle): exactly one process runs
+// at any instant, same-timestamp events dispatch in schedule order, and a
+// fixed seed yields an identical execution regardless of GOMAXPROCS. The
+// kernel runs until no scheduled events remain (or an explicit horizon is
+// reached); processes still blocked at that point are killed cleanly — in
+// spawn order, unwinding blocking processes' defers — so no coroutine
+// outlives Run.
+//
+// The event loop is the hot path of every experiment sweep, so it avoids
+// allocation: the event queue is a concrete typed binary heap (no
+// container/heap interface boxing), completed process records (and, for
+// blocking processes, their coroutines) are pooled for reuse by later
+// Spawns, and a zero-duration Sleep or After returns immediately when no
+// other event is pending at the current instant.
 package sim
 
 import (
 	"fmt"
+	"iter"
 	"math/rand"
 	"sort"
 )
@@ -51,25 +73,36 @@ const (
 	stateRunning
 	stateParked
 	stateDone
-	// statePooled marks a finished process whose record and goroutine are
-	// parked in the kernel's free list, awaiting reuse by a future Spawn.
+	// statePooled marks a finished process whose record (and coroutine, for
+	// blocking processes) is parked in the kernel's free list, awaiting
+	// reuse by a future Spawn.
 	statePooled
 )
 
 // proc is the kernel-side record of one simulated process. Records are
-// reused across process lifetimes (see Kernel.free), so every mutable field
-// is reset by Spawn.
+// reused across process lifetimes (see Kernel.freeCoro/freeStep), so every
+// mutable field is reset by Spawn/SpawnStep.
 type proc struct {
 	id     int
 	name   string
 	state  procState
-	resume chan struct{}
 	killed bool
-	fn     func(*Env)
 	env    Env
+
+	// Blocking (coroutine) processes only. resume switches into the
+	// coroutine; yield (captured by the coroutine body on first entry)
+	// switches back out. fn is the current incarnation's body.
+	fn     func(*Env)
+	resume func() (struct{}, bool)
+	yield  func(struct{}) bool
+
+	// Continuation processes only: the next step to run when dispatched.
+	// Blocking primitives' *Then variants re-point this at the armed
+	// continuation while the process waits.
+	step Step
 }
 
-// killSentinel is the panic value used to unwind killed processes.
+// killSentinel is the panic value used to unwind killed blocking processes.
 type killSentinel struct{}
 
 // procPanic wraps a panic raised inside a simulated process so the kernel
@@ -157,29 +190,25 @@ func (h *eventHeap) popMin() event {
 }
 
 // Kernel is a discrete-event simulation instance. Create one with NewKernel,
-// spawn processes with Spawn, then call Run from the goroutine that created
-// it. A Kernel must not be reused after Run returns.
+// spawn processes with Spawn or SpawnStep, then call Run from the goroutine
+// that created it. A Kernel must not be reused after Run returns.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	yield   chan struct{}
-	procs   []*proc
-	free    []*proc
-	live    int
-	idgen   int
-	failure error
-	rng     *rand.Rand
-	running bool
+	now      Time
+	seq      uint64
+	events   eventHeap
+	procs    []*proc
+	freeCoro []*proc // pooled blocking-process records (coroutine parked)
+	freeStep []*proc // pooled continuation-process records
+	idgen    int
+	failure  error
+	rng      *rand.Rand
+	running  bool
 }
 
 // NewKernel returns a kernel whose processes draw randomness from the given
 // seed. The same seed always yields an identical execution.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
-	}
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -189,69 +218,72 @@ func (k *Kernel) Now() Time { return k.now }
 // used from simulated processes or between Run calls, never concurrently.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
-// Spawn registers a new process. It may be called before Run or from inside
-// a running process (usually via Env.Spawn). The process starts at the
-// current virtual time, after previously scheduled same-time events.
+// Spawn registers a new blocking process. It may be called before Run or
+// from inside a running process (usually via Env.Spawn). The process starts
+// at the current virtual time, after previously scheduled same-time events.
 //
-// Finished process records (and their goroutines) are reused, so workloads
+// Finished process records (and their coroutines) are reused, so workloads
 // that spawn one short-lived process per message or transfer do not pay a
-// record, channel and goroutine allocation each time.
+// record and coroutine allocation each time.
 func (k *Kernel) Spawn(name string, fn func(*Env)) {
 	var p *proc
-	if n := len(k.free); n > 0 {
-		p = k.free[n-1]
-		k.free[n-1] = nil
-		k.free = k.free[:n-1]
+	if n := len(k.freeCoro); n > 0 {
+		p = k.freeCoro[n-1]
+		k.freeCoro[n-1] = nil
+		k.freeCoro = k.freeCoro[:n-1]
 		p.name = name
 		p.state = stateNew
 		p.killed = false
 	} else {
-		p = &proc{
-			state:  stateNew,
-			name:   name,
-			resume: make(chan struct{}),
-		}
-		p.env = Env{k: k, p: p}
+		p = k.newCoroProc(name)
 		k.procs = append(k.procs, p)
-		go k.procLoop(p)
 	}
 	// Fresh id even on reuse: ids stay monotonic so the deterministic
 	// shutdown kill order reflects spawn order.
 	p.id = k.idgen
 	k.idgen++
 	p.fn = fn
-	k.live++
 	k.schedule(k.now, p)
 }
 
-// procLoop is the body of one process goroutine. It runs successive process
-// incarnations assigned to this record; between incarnations the record
-// sits in the kernel's free list with the goroutine parked on p.resume.
-func (k *Kernel) procLoop(p *proc) {
-	for {
-		<-p.resume
-		if p.killed {
-			if p.state == statePooled {
-				// Shutdown of an idle pooled worker: no incarnation is
-				// live, so there is no state to unwind and no hand-off —
-				// the kernel is not waiting on yield for pooled records.
+// newCoroProc creates a process record backed by a fresh coroutine and runs
+// the coroutine to its first suspension point, so the first dispatch resumes
+// straight into the incarnation body.
+func (k *Kernel) newCoroProc(name string) *proc {
+	p := &proc{state: stateNew, name: name}
+	p.env = Env{k: k, p: p}
+	p.resume, _ = iter.Pull(func(yield func(struct{}) bool) {
+		p.yield = yield
+		// Each loop iteration serves one incarnation of this record. The
+		// leading yield doubles as the pool wait: between incarnations the
+		// record sits in freeCoro with the coroutine suspended here.
+		for {
+			if !yield(struct{}{}) {
 				return
 			}
-			// Killed before the incarnation first ran: unwind as if the
-			// body had been killed at its first instruction.
-			p.state = stateDone
-			k.live--
-			k.yield <- struct{}{}
-			return
+			if p.killed {
+				if p.state == statePooled {
+					// Shutdown of an idle pooled worker: no incarnation is
+					// live, so there is no state to unwind.
+					return
+				}
+				// Killed before the incarnation first ran: unwind as if the
+				// body had been killed at its first instruction.
+				p.state = stateDone
+				p.fn = nil
+				return
+			}
+			if !k.runBody(p) {
+				return
+			}
 		}
-		if !k.runBody(p) {
-			return
-		}
-	}
+	})
+	p.resume() // prime: run the prologue up to the pool-wait yield
+	return p
 }
 
 // runBody executes the current incarnation and reports whether the record
-// was returned to the pool (false means the goroutine must exit: the
+// was returned to the pool (false means the coroutine must end: the
 // incarnation was killed or panicked, which only happens during shutdown
 // or failure unwinding).
 func (k *Kernel) runBody(p *proc) (pooled bool) {
@@ -266,15 +298,13 @@ func (k *Kernel) runBody(p *proc) (pooled bool) {
 			p.state = stateDone
 		} else {
 			// Normal completion: pool the record for the next Spawn. This
-			// runs while the kernel is blocked on yield, so touching the
-			// free list here is part of the single-runner hand-off.
+			// runs inside the coroutine while the event loop is blocked in
+			// dispatch, so touching the free list is single-threaded.
 			p.state = statePooled
-			k.free = append(k.free, p)
+			k.freeCoro = append(k.freeCoro, p)
 			pooled = true
 		}
 		p.fn = nil
-		k.live--
-		k.yield <- struct{}{}
 	}()
 	p.state = stateRunning
 	p.fn(&p.env)
@@ -291,13 +321,16 @@ func (k *Kernel) schedule(t Time, p *proc) {
 	k.seq++
 }
 
-// park suspends the calling process until the kernel resumes it. It must be
-// called with the process already registered on some wait list or scheduled.
+// park suspends the calling blocking process until the kernel resumes it.
+// It must be called with the process already registered on some wait list
+// or scheduled. Continuation processes cannot park — their primitives'
+// *Then variants arm a continuation instead.
 func (k *Kernel) park(p *proc) {
+	if p.yield == nil {
+		panic("sim: blocking operation from a continuation (step) process")
+	}
 	p.state = stateParked
-	k.yield <- struct{}{}
-	<-p.resume
-	if p.killed {
+	if !p.yield(struct{}{}) || p.killed {
 		panic(killSentinel{})
 	}
 	p.state = stateRunning
@@ -305,7 +338,8 @@ func (k *Kernel) park(p *proc) {
 
 // Run executes events until none remain. It returns the first process panic
 // as an error, if any. Processes still blocked when the event queue drains
-// are killed (their deferred functions run) before Run returns.
+// are killed (blocking processes' deferred functions run) before Run
+// returns.
 func (k *Kernel) Run() error { return k.RunUntil(-1) }
 
 // RunUntil executes events with virtual timestamps <= horizon; a negative
@@ -332,14 +366,20 @@ func (k *Kernel) RunUntil(horizon Time) error {
 	return k.failure
 }
 
-// dispatch hands control to p and waits for it to yield back.
+// dispatch hands control to p until it suspends, finishes or panics. For a
+// blocking process that is one coroutine switch in (and one back out, from
+// inside park or the incarnation epilogue); for a continuation process it
+// is the step trampoline, inline on the event-loop stack.
 func (k *Kernel) dispatch(p *proc) {
-	p.resume <- struct{}{}
-	<-k.yield
+	if p.yield != nil {
+		p.resume()
+		return
+	}
+	k.dispatchStep(p)
 }
 
-// shutdown kills every process that is still alive so that no goroutines
-// leak past Run, then releases the pooled worker goroutines.
+// shutdown kills every process that is still alive so that no coroutine
+// outlives Run, then releases the pooled coroutines.
 func (k *Kernel) shutdown() {
 	// Kill in a stable order for determinism of any side effects in defers.
 	alive := make([]*proc, 0, len(k.procs))
@@ -351,18 +391,26 @@ func (k *Kernel) shutdown() {
 	sort.Slice(alive, func(i, j int) bool { return alive[i].id < alive[j].id })
 	for _, p := range alive {
 		p.killed = true
-		k.dispatch(p)
-	}
-	// Pooled records hold idle goroutines parked on resume; wake each one
-	// so it exits. No yield hand-off happens on this path (no user code
-	// runs), so a plain send suffices.
-	for _, p := range k.procs {
-		if p.state == statePooled {
-			p.killed = true
-			p.resume <- struct{}{}
+		if p.yield != nil {
+			// Resume the coroutine: park (or the pool wait) observes the
+			// kill and unwinds through the incarnation's defers.
+			p.resume()
+		} else {
+			// Continuation processes hold no stack, so there is nothing to
+			// unwind.
+			p.state = stateDone
+			p.step = nil
 		}
 	}
-	k.free = nil
+	// Pooled blocking records hold idle coroutines suspended at the pool
+	// wait; resume each one so it ends.
+	for _, p := range k.procs {
+		if p.state == statePooled && p.yield != nil {
+			p.killed = true
+			p.resume()
+		}
+	}
+	k.freeCoro, k.freeStep = nil, nil
 }
 
 // Env is a process's handle to the kernel. One Env belongs to exactly one
@@ -385,9 +433,10 @@ func (e *Env) Rand() *rand.Rand { return e.k.rng }
 // Name returns the name the process was spawned with.
 func (e *Env) Name() string { return e.p.name }
 
-// Sleep suspends the calling process for d of virtual time. Negative
-// durations sleep zero time (the process still yields, so same-time events
-// scheduled earlier run first).
+// Sleep suspends the calling blocking process for d of virtual time.
+// Negative durations sleep zero time (the process still yields, so
+// same-time events scheduled earlier run first). Continuation processes
+// must return After instead.
 func (e *Env) Sleep(d Time) {
 	k := e.k
 	if d <= 0 {
@@ -395,7 +444,7 @@ func (e *Env) Sleep(d Time) {
 		// the current instant. The heap's minimum is never earlier than
 		// now, so if the top (if any) is strictly later, this process
 		// would be rescheduled and immediately re-dispatched — skip the
-		// two goroutine hand-offs and keep running.
+		// two coroutine switches and keep running.
 		if len(k.events) == 0 || k.events[0].at > k.now {
 			return
 		}
@@ -411,5 +460,8 @@ func (e *Env) Sleep(d Time) {
 // same-time events. Useful to let other runnable processes make progress.
 func (e *Env) Yield() { e.Sleep(0) }
 
-// Spawn starts a new process at the current virtual time.
+// Spawn starts a new blocking process at the current virtual time.
 func (e *Env) Spawn(name string, fn func(*Env)) { e.k.Spawn(name, fn) }
+
+// SpawnStep starts a new continuation process at the current virtual time.
+func (e *Env) SpawnStep(name string, step Step) { e.k.SpawnStep(name, step) }

@@ -19,13 +19,17 @@ go build ./...
 echo "== go test -race ./...  (full suite + quick determinism under the race detector)"
 go test -race -timeout 20m ./...
 
+echo "== kernel differential  (continuation kernel vs goroutine oracle, -race)"
+go test -race -run '^TestDiff|^TestProperty' -count=1 -timeout 10m ./internal/sim
+
 echo "== go test ./...  (tier-1 suite + full-report determinism, seeds 1-${ANTHILL_DETERMINISM_SEEDS:-3})"
 ANTHILL_DETERMINISM_SEEDS="${ANTHILL_DETERMINISM_SEEDS:-3}" go test -timeout 40m ./...
 
-echo "== fuzz smoke  (-faults parser, estimator profile decoder, explain JSON decoder)"
+echo "== fuzz smoke  (-faults parser, estimator profile decoder, explain JSON decoder, kernel scenarios)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/fault
 go test -run '^$' -fuzz '^FuzzLoadProfile$' -fuzztime 10s ./internal/estimator
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/span
+go test -run '^$' -fuzz '^FuzzKernelScenario$' -fuzztime 15s ./internal/sim
 
 echo "== chaos determinism  (serial vs 4-worker fault-injection sweeps, seeds 1-3)"
 go test -run '^TestChaosDeterminism$' -timeout 20m ./internal/experiments
@@ -39,6 +43,11 @@ go run ./cmd/anthill-sim -exp fig7 -seed 1 -o /dev/null \
     -trace "$tracedir/b.trace.json" -metrics-out "$tracedir/b.metrics.json"
 cmp "$tracedir/a.trace.json" "$tracedir/b.trace.json"
 cmp "$tracedir/a.metrics.json" "$tracedir/b.metrics.json"
+
+echo "== report determinism  (serial vs 4-worker CLI reports must be byte-identical)"
+go run ./cmd/anthill-sim -exp fig7 -seed 2 -parallel=false -o "$tracedir/a.report.md"
+go run ./cmd/anthill-sim -exp fig7 -seed 2 -parallel -workers 4 -o "$tracedir/b.report.md"
+cmp "$tracedir/a.report.md" "$tracedir/b.report.md"
 
 echo "== explain determinism  (serial vs 4-worker makespan-attribution artifacts must be byte-identical)"
 go test -race -run '^TestExplain' -timeout 20m ./internal/experiments
