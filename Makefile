@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism check verify
+.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism byte-identity check verify
 
 all: build
 
@@ -62,10 +62,21 @@ explain-determinism:
 	cmp "$$dir/a.explain.json" "$$dir/b.explain.json" && \
 	echo "explain-determinism: byte-identical"
 
+# The full seed-1 report must match the checked-in digest byte-for-byte
+# (scripts/exp_all_seed1.sha256). Regenerate the digest only for intentional
+# model changes; a mismatch after a refactor means determinism broke.
+byte-identity:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/anthill-sim -exp all -seed 1 -parallel=false -o "$$dir/exp_all_seed1.md"; \
+	want=$$(cut -d' ' -f1 scripts/exp_all_seed1.sha256); \
+	got=$$(sha256sum "$$dir/exp_all_seed1.md" | cut -d' ' -f1); \
+	if [ "$$got" = "$$want" ]; then echo "byte-identity: exp all seed 1 matches digest"; \
+	else echo "byte-identity: digest mismatch (want $$want, got $$got)"; exit 1; fi
+
 # Mid-weight verification: vet + tier-1 tests + fuzz smoke + the chaos
 # fault-injection determinism check (serial vs 4 workers, seeds 1-3) + the
-# trace/metrics and explain-artifact byte-identity gates.
-verify: vet test fuzz-smoke trace-determinism explain-determinism
+# trace/metrics, explain-artifact and full-report byte-identity gates.
+verify: vet test fuzz-smoke trace-determinism explain-determinism byte-identity
 	$(GO) test -run '^TestChaosDeterminism$$' -timeout 20m ./internal/experiments
 
 # Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,

@@ -38,12 +38,50 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 )
+
+// Profiling state, package-level so exit can flush it: os.Exit bypasses
+// defers, and several error paths terminate mid-run.
+var (
+	cpuProfiling  bool
+	memProfileOut string
+)
+
+// finishProfiles stops an active CPU profile and writes the heap profile.
+// Idempotent, so both the normal return path and exit may call it.
+func finishProfiles() {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+		cpuProfiling = false
+	}
+	if memProfileOut != "" {
+		f, err := os.Create(memProfileOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+		} else {
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+			}
+			f.Close()
+		}
+		memProfileOut = ""
+	}
+}
+
+// exit flushes any active profiles before terminating, so -cpuprofile and
+// -memprofile still produce usable artifacts when a shape check fails.
+func exit(code int) {
+	finishProfiles()
+	os.Exit(code)
+}
 
 func main() {
 	var (
@@ -61,6 +99,8 @@ func main() {
 		metrOut  = flag.String("metrics-out", "", "write the experiment's metrics-registry JSON to this file (requires a single -exp)")
 		explain  = flag.Bool("explain", false, "append the makespan attribution (critical path, breakdowns, bottlenecks) to the report; with -exp all, adds a breakdown line per experiment")
 		explOut  = flag.String("explain-out", "", "write the makespan-attribution JSON artifact to this file (requires a single -exp)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with go tool pprof)")
 	)
 	flag.Parse()
 
@@ -87,6 +127,20 @@ func main() {
 		experiments.SetWorkers(*workers)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
+			os.Exit(1)
+		}
+		cpuProfiling = true
+	}
+	memProfileOut = *memProf
+
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %-10s %s\n", e.ID, e.PaperRef, e.Title)
@@ -103,7 +157,7 @@ func main() {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer f.Close()
 		w = f
@@ -121,7 +175,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "anthill-sim: unknown experiment %q (have: %s)\n",
 				*exp, strings.Join(ids, ", "))
-			os.Exit(1)
+			exit(1)
 		}
 		toRun = []experiments.Experiment{e}
 	}
@@ -148,21 +202,21 @@ func main() {
 		if *svgDir != "" && len(rep.Series) > 0 {
 			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			svg := metrics.RenderSVG(fmt.Sprintf("%s — %s", rep.PaperRef, rep.Title),
 				rep.Series, 760, 420)
 			path := filepath.Join(*svgDir, rep.ID+".svg")
 			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
 	if cfg.Observe && *exp != "all" {
 		if capture == nil {
 			fmt.Fprintf(os.Stderr, "anthill-sim: experiment %q has no observability capture\n", *exp)
-			os.Exit(1)
+			exit(1)
 		}
 		if *explain {
 			fmt.Fprint(w, capture.ExplainText)
@@ -170,19 +224,19 @@ func main() {
 		if *traceOut != "" {
 			if err := os.WriteFile(*traceOut, capture.Trace, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 		if *metrOut != "" {
 			if err := os.WriteFile(*metrOut, capture.Metrics, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 		if *explOut != "" {
 			if err := os.WriteFile(*explOut, capture.Explain, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
@@ -190,20 +244,21 @@ func main() {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(summaries); err != nil {
 			fmt.Fprintln(os.Stderr, "anthill-sim:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		f.Close()
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "anthill-sim: %d shape check(s) failed\n", failed)
-		os.Exit(2)
+		exit(2)
 	}
+	finishProfiles()
 }
 
 // jsonReport is the machine-readable form of one experiment's outcome.

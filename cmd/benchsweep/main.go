@@ -63,7 +63,15 @@ type summary struct {
 	FullScale  bool        `json:"full_scale"`
 	Runs       []runResult `json:"runs"`
 	Speedup    float64     `json:"parallel_speedup"`
-	Identical  bool        `json:"outputs_identical"`
+	// EffectiveParallelism is the concurrency the parallel run can actually
+	// exploit: the worker-pool size capped by GOMAXPROCS. When it is 1 the
+	// serial-vs-parallel comparison degenerates — the pool only adds
+	// scheduling overhead — so ParallelComparisonValid is false and Speedup
+	// must not be read as a machine capability.
+	EffectiveParallelism    int    `json:"effective_parallelism"`
+	ParallelComparisonValid bool   `json:"parallel_comparison_valid"`
+	ParallelNote            string `json:"parallel_note,omitempty"`
+	Identical               bool   `json:"outputs_identical"`
 	// ExplainOverheadPct is the extra wall time of the pooled run with the
 	// observability captures (span collector + trace + metrics) attached,
 	// relative to the plain pooled run. With captures disabled the hook bus
@@ -169,6 +177,33 @@ func zeroSleep() {
 	}
 }
 
+// messagePath is the runtime's per-message shape after the stackless
+// migration benchmark-reduced to kernel primitives: spawn a short-lived
+// transfer process, serialize on an exclusive NIC-like resource, deliver
+// the reply through a channel the driver waits on.
+func messagePath() {
+	k := sim.NewKernel(1)
+	nic := sim.NewResource(k, 1)
+	replies := sim.NewChan[int](k, 1)
+	send := func(e *sim.Env) {
+		nic.Acquire(e)
+		e.Sleep(10 * sim.Microsecond)
+		nic.Release()
+		replies.Put(e, 1)
+	}
+	k.Spawn("driver", func(e *sim.Env) {
+		for i := 0; i < 1000; i++ {
+			e.Spawn("send", send)
+			if _, ok := replies.Get(e); !ok {
+				panic("benchsweep: reply channel closed early")
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
 // Continuation (step-API) flavours of the same workloads.
 
 func eventLoopStep() {
@@ -211,6 +246,39 @@ func spawnChurnStep() {
 	}
 }
 
+func messagePathStep() {
+	k := sim.NewKernel(1)
+	nic := sim.NewResource(k, 1)
+	replies := sim.NewChan[int](k, 1)
+	finish := func(e *sim.Env) sim.Cont {
+		nic.Release()
+		return replies.PutThen(e, 1, sim.DoneStep)
+	}
+	hold := func(e *sim.Env) sim.Cont { return sim.After(10*sim.Microsecond, finish) }
+	send := func(e *sim.Env) sim.Cont { return nic.AcquireThen(e, hold) }
+	left := 1000
+	var driver sim.Step
+	var onReply func(e *sim.Env, v int, ok bool) sim.Cont
+	driver = func(e *sim.Env) sim.Cont {
+		if left == 0 {
+			return sim.Done()
+		}
+		left--
+		e.SpawnStep("send", send)
+		return replies.GetThen(e, onReply)
+	}
+	onReply = func(e *sim.Env, v int, ok bool) sim.Cont {
+		if !ok {
+			panic("benchsweep: reply channel closed early")
+		}
+		return driver(e)
+	}
+	k.SpawnStep("driver", driver)
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
 // Oracle (pre-rewrite goroutine kernel) flavours, for the speedup baseline.
 
 func eventLoopOracle() {
@@ -245,6 +313,29 @@ func zeroSleepOracle() {
 	k.Spawn("spinner", func(e *oracle.Env) {
 		for i := 0; i < 10000; i++ {
 			e.Sleep(0)
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+func messagePathOracle() {
+	k := oracle.NewKernel(1)
+	nic := oracle.NewResource(k, 1)
+	replies := oracle.NewChan[int](k, 1)
+	send := func(e *oracle.Env) {
+		nic.Acquire(e)
+		e.Sleep(10 * oracle.Microsecond)
+		nic.Release()
+		replies.Put(e, 1)
+	}
+	k.Spawn("driver", func(e *oracle.Env) {
+		for i := 0; i < 1000; i++ {
+			e.Spawn("send", send)
+			if _, ok := replies.Get(e); !ok {
+				panic("benchsweep: reply channel closed early")
+			}
 		}
 	})
 	if err := k.Run(); err != nil {
@@ -310,30 +401,43 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchsweep: parallel+explain %.1fs, %d points (%.1f points/s)\n",
 		parExplain.WallSeconds, parExplain.Points, parExplain.PointsPerSec)
 
+	effective := parWorkers
+	if mp := runtime.GOMAXPROCS(0); mp < effective {
+		effective = mp
+	}
 	s := summary{
-		GoVersion:          runtime.Version(),
-		GOOS:               runtime.GOOS,
-		GOARCH:             runtime.GOARCH,
-		NumCPU:             runtime.NumCPU(),
-		GOMAXPROCS:         runtime.GOMAXPROCS(0),
-		Seed:               *seed,
-		FullScale:          *full,
-		Runs:               []runResult{serial, par, parExplain},
-		Speedup:            serial.WallSeconds / par.WallSeconds,
-		Identical:          serialOut == parOut,
-		ExplainOverheadPct: (parExplain.WallSeconds/par.WallSeconds - 1) * 100,
+		GoVersion:               runtime.Version(),
+		GOOS:                    runtime.GOOS,
+		GOARCH:                  runtime.GOARCH,
+		NumCPU:                  runtime.NumCPU(),
+		GOMAXPROCS:              runtime.GOMAXPROCS(0),
+		Seed:                    *seed,
+		FullScale:               *full,
+		Runs:                    []runResult{serial, par, parExplain},
+		Speedup:                 serial.WallSeconds / par.WallSeconds,
+		EffectiveParallelism:    effective,
+		ParallelComparisonValid: effective > 1,
+		Identical:               serialOut == parOut,
+		ExplainOverheadPct:      (parExplain.WallSeconds/par.WallSeconds - 1) * 100,
 		SimAllocs: []allocResult{
 			{"event_loop_4procs_x_1000_sleeps", allocsPerRun(5, eventLoop)},
 			{"event_loop_step_4procs_x_1000_steps", allocsPerRun(5, eventLoopStep)},
 			{"spawn_churn_1000_procs", allocsPerRun(5, spawnChurn)},
 			{"spawn_churn_step_1000_procs", allocsPerRun(5, spawnChurnStep)},
 			{"zero_sleep_10000_yields", allocsPerRun(5, zeroSleep)},
+			{"message_path_1000_rounds", allocsPerRun(5, messagePath)},
+			{"message_path_step_1000_rounds", allocsPerRun(5, messagePathStep)},
 		},
 		KernelBench: []kernelBench{
 			kernelComparison("event_loop", 4000, 20, eventLoopOracle, eventLoop, eventLoopStep),
 			kernelComparison("spawn_churn", 3000, 20, spawnChurnOracle, spawnChurn, spawnChurnStep),
 			kernelComparison("zero_sleep", 10000, 20, zeroSleepOracle, zeroSleep, nil),
+			kernelComparison("message_path", 3000, 20, messagePathOracle, messagePath, messagePathStep),
 		},
+	}
+	if !s.ParallelComparisonValid {
+		s.ParallelNote = "GOMAXPROCS=1: the worker pool cannot run sweeps concurrently, so parallel_speedup measures pool overhead, not machine parallelism"
+		fmt.Fprintln(os.Stderr, "benchsweep: NOTE:", s.ParallelNote)
 	}
 	if !s.Identical {
 		fmt.Fprintln(os.Stderr, "benchsweep: WARNING: parallel output differs from serial")

@@ -39,6 +39,7 @@ type reply struct {
 // answers requests).
 type sender struct {
 	inst  *Instance
+	name  string // proc name, precomputed at construction
 	queue *policy.Queue
 	parts []*policy.Queue // per-consumer partitions (labeled streams only)
 	reqCh *sim.Chan[*request]
@@ -109,12 +110,42 @@ func (s *sender) popFor(req *request) *task.Task {
 	return t
 }
 
+// answer serves one data request: refill the queue (lazy sources), select
+// the buffer with DBSA when the queue is sorted (FIFO otherwise), and build
+// the reply — a data buffer, an empty NACK, or EOF once the job completed.
+// It is the serial, non-blocking half of ThreadBufferSender (it mutates the
+// SendQueue), shared by both process flavours.
+func (s *sender) answer(now sim.Time, req *request) reply {
+	s.refill(now)
+	if t := s.popFor(req); t != nil {
+		s.inst.f.out.stats.sent++
+		s.noteSend(req.fromInst, t.ID, t.Size, false)
+		return reply{t: t}
+	}
+	if s.inst.rt.track.done.Fired() {
+		return reply{eof: true}
+	}
+	return reply{}
+}
+
+// wireSize is the number of bytes a reply occupies on the network: the data
+// buffer's size, or one control message for NACK/EOF.
+func (rep reply) wireSize() int64 {
+	if rep.t != nil {
+		return rep.t.Size
+	}
+	return ctrlMsgBytes
+}
+
 // run is ThreadBufferSender: serve data requests, selecting the buffer with
 // DBSA when the queue is sorted, FIFO otherwise. Buffer selection is
 // serial (it mutates the SendQueue); transmission is dispatched to its own
 // process so a bulk transfer to one consumer does not head-of-line block
 // every other consumer's request — the NIC model still serializes the
 // actual bytes, segment-interleaved.
+//
+// This is the blocking reference flavour (Tunables.BlockingHelpers); the
+// default stackless flavour is runStep.
 func (s *sender) run(e *sim.Env) {
 	rt := s.inst.rt
 	for {
@@ -122,24 +153,49 @@ func (s *sender) run(e *sim.Env) {
 		if !ok {
 			return
 		}
-		s.refill(e.Now())
-		var rep reply
-		if t := s.popFor(req); t != nil {
-			rep = reply{t: t}
-			s.inst.f.out.stats.sent++
-			s.noteSend(req.fromInst, t.ID, t.Size, false)
-		} else if rt.track.done.Fired() {
-			rep = reply{eof: true}
-		}
+		rep := s.answer(e.Now(), req)
 		e.Spawn("send", func(se *sim.Env) {
-			size := int64(ctrlMsgBytes)
-			if rep.t != nil {
-				size = rep.t.Size
-			}
-			rt.Cluster.Net.Send(se, s.inst.node, req.from, size)
+			rt.Cluster.Net.Send(se, s.inst.node, req.from, rep.wireSize())
 			req.reply.Put(se, rep)
 		})
 	}
+}
+
+// runStep is the stackless ThreadBufferSender: the same serve loop as run,
+// but waiting for the next request arms a continuation on the request
+// channel instead of parking a coroutine, and each reply transmission is a
+// spawned step chain (NIC serialization, then the reply hand-off). Requests
+// already queued are drained inline without yielding, exactly as the
+// blocking loop's non-blocking Get does.
+func (s *sender) runStep(e *sim.Env) sim.Cont {
+	for {
+		req, ok := s.reqCh.TryGet()
+		if !ok {
+			if s.reqCh.Closed() {
+				return sim.Done()
+			}
+			return s.reqCh.GetThen(e, func(e *sim.Env, req *request, ok bool) sim.Cont {
+				if !ok {
+					return sim.Done()
+				}
+				s.serve(e, req)
+				return s.runStep(e)
+			})
+		}
+		s.serve(e, req)
+	}
+}
+
+// serve answers one request and spawns the step chain transmitting the
+// reply: network send, then the hand-off into the requester's reply channel.
+func (s *sender) serve(e *sim.Env, req *request) {
+	rep := s.answer(e.Now(), req)
+	net := s.inst.rt.Cluster.Net
+	e.SpawnStep("send", func(se *sim.Env) sim.Cont {
+		return net.SendThen(se, s.inst.node, req.from, rep.wireSize(), func(se *sim.Env) sim.Cont {
+			return req.reply.PutThen(se, rep, sim.DoneStep)
+		})
+	})
 }
 
 // runPush implements the push-based stream the paper excludes: drain the
@@ -262,11 +318,15 @@ type worker struct {
 	ctrl      *xfer.Controller // GPU workers only (async mode)
 	tid       int
 	reqStates []*reqState // one per input stream
+	// Proc names, precomputed at construction: name() is on the demand-hook
+	// hot path and the fetch/requester names are used once per spawned
+	// process, so formatting them per call would allocate per message.
+	procName  string
+	fetchName string
+	reqNames  []string // one per input stream
 }
 
-func (w *worker) name() string {
-	return fmt.Sprintf("%s/%d/%s%d", w.inst.f.Name(), w.inst.idx, w.kind, w.tid)
-}
+func (w *worker) name() string { return w.procName }
 
 // Instance is one transparent copy of a filter on a node.
 type Instance struct {
@@ -280,8 +340,8 @@ type Instance struct {
 	rrQueue   int
 	resubRR   int
 	reclaimRR int
-	dead      bool     // fail-stop crashed (fault injection)
-	diedAt    sim.Time // crash time, for reports
+	dead      bool      // fail-stop crashed (fault injection)
+	diedAt    sim.Time  // crash time, for reports
 	taskAvail *sim.Cond // workers wait here for queued events
 	demand    *sim.Cond // requesters wait here for demand headroom
 	// fetcher maps a queued task to the request bookkeeping of the worker
@@ -314,6 +374,7 @@ func newInstance(rt *Runtime, f *Filter, idx int, node *hw.Node) *Instance {
 	if f.out != nil {
 		inst.out = &sender{
 			inst:  inst,
+			name:  fmt.Sprintf("%s/%d/sender", f.Name(), idx),
 			queue: policy.NewQueue(f.out.pol.Sender),
 			reqCh: sim.NewChan[*request](rt.K, 1024),
 		}
@@ -395,25 +456,38 @@ func (inst *Instance) buildWorkers() {
 			inst.f.Name(), inst.node.Name()))
 	}
 	for _, w := range inst.workers {
-		for _, is := range inst.inputs {
+		w.procName = fmt.Sprintf("%s/%d/%s%d", inst.f.Name(), inst.idx, w.kind, w.tid)
+		w.fetchName = w.procName + "/fetch"
+		if w.exec != nil {
+			w.exec.BlockingProcs = inst.rt.tun.BlockingHelpers
+		}
+		for qi, is := range inst.inputs {
 			st := &reqState{static: is.s.pol.RequestSize}
 			if is.s.pol.Dynamic {
 				st.dqaa = policy.NewDQAATuned(inst.rt.tun.DQAAFloor, 0)
 			}
 			w.reqStates = append(w.reqStates, st)
+			w.reqNames = append(w.reqNames, fmt.Sprintf("%s/req%d", w.procName, qi))
 		}
 	}
 }
 
-// start spawns the instance's processes.
+// start spawns the instance's processes. The per-message helpers — sender
+// serve loop and requester issue loop — run stackless by default; the
+// blocking flavours stay available behind Tunables.BlockingHelpers as the
+// reference implementation. Worker main loops and push-mode senders are
+// long-lived, genuinely stackful processes and always run as coroutines.
 func (inst *Instance) start() {
+	blocking := inst.rt.tun.BlockingHelpers
 	if inst.out != nil {
 		s := inst.out
-		name := fmt.Sprintf("%s/%d/sender", inst.f.Name(), inst.idx)
-		if inst.f.out.pol.Push {
-			inst.rt.K.Spawn(name, s.runPush)
-		} else {
-			inst.rt.K.Spawn(name, s.run)
+		switch {
+		case inst.f.out.pol.Push:
+			inst.rt.K.Spawn(s.name, s.runPush)
+		case blocking:
+			inst.rt.K.Spawn(s.name, s.run)
+		default:
+			inst.rt.K.SpawnStep(s.name, s.runStep)
 		}
 	}
 	for _, w := range inst.workers {
@@ -424,9 +498,15 @@ func (inst *Instance) start() {
 				continue // push streams have no demand side
 			}
 			qi := qi
-			inst.rt.K.Spawn(fmt.Sprintf("%s/req%d", w.name(), qi), func(e *sim.Env) {
-				w.requester(e, qi)
-			})
+			if blocking {
+				inst.rt.K.Spawn(w.reqNames[qi], func(e *sim.Env) {
+					w.requester(e, qi)
+				})
+			} else {
+				inst.rt.K.SpawnStep(w.reqNames[qi], func(e *sim.Env) sim.Cont {
+					return w.requesterStep(e, qi)
+				})
+			}
 		}
 	}
 }
@@ -682,103 +762,229 @@ func (inst *Instance) resubmit(e *sim.Env, o *task.Task) {
 	tgt := src.instances[inst.resubRR%len(src.instances)]
 	inst.resubRR++
 	from, net := inst.node, inst.rt.Cluster.Net
-	e.Spawn("resubmit", func(ce *sim.Env) {
-		net.Send(ce, from, tgt.node, ctrlMsgBytes)
-		tgt.out.push(o)
+	if inst.rt.tun.BlockingHelpers {
+		e.Spawn("resubmit", func(ce *sim.Env) {
+			net.Send(ce, from, tgt.node, ctrlMsgBytes)
+			tgt.out.push(o)
+		})
+		return
+	}
+	e.SpawnStep("resubmit", func(ce *sim.Env) sim.Cont {
+		return net.SendThen(ce, from, tgt.node, ctrlMsgBytes, func(ce *sim.Env) sim.Cont {
+			tgt.out.push(o)
+			return sim.Done()
+		})
 	})
 }
 
-// requester is ThreadRequester (Algorithm 3) for one worker and one input
-// stream: keep requestSize — buffers *being transferred plus received and
-// queued*, as the paper defines it — topped up to the target by demanding
-// buffers from upstream instances, round-robin. Requests are pipelined:
-// several may be outstanding at once, up to the target, which is what lets
-// a consumer of large buffers overlap their network transfers. An upstream
-// instance with nothing to send answers with an empty message; after a full
-// empty cycle the requester backs off briefly before issuing more.
-func (w *worker) requester(e *sim.Env, qi int) {
+// reqLoop is the state of one ThreadRequester (Algorithm 3): one worker's
+// demand loop for one input stream, keeping requestSize — buffers *being
+// transferred plus received and queued*, as the paper defines it — topped
+// up to the target by demanding buffers from upstream instances,
+// round-robin. Requests are pipelined: several may be outstanding at once,
+// up to the target, which is what lets a consumer of large buffers overlap
+// their network transfers. An upstream instance with nothing to send
+// answers with an empty message; after a full empty cycle the requester
+// backs off briefly before issuing more.
+//
+// Both process flavours run on this state — the blocking coroutine
+// (requester) keeps the literal loop of the paper, the stackless flavour
+// (requesterStep) arms a continuation at each blocking point — so the
+// issue and settle logic exists exactly once.
+type reqLoop struct {
+	w           *worker
+	inst        *Instance
+	rt          *Runtime
+	qi          int
+	st          *reqState
+	stream      *Stream
+	senders     []*sender
+	backoff     sim.Time
+	emptyStreak int
+	eof         bool
+}
+
+func (w *worker) newReqLoop(qi int) *reqLoop {
 	inst := w.inst
-	rt := inst.rt
 	st := w.reqStates[qi]
 	stream := inst.inputs[qi].s
 	senders := make([]*sender, 0, len(stream.from.instances))
 	for _, si := range stream.from.instances {
 		senders = append(senders, si.out)
 	}
-	if len(senders) == 0 {
+	if len(senders) > 0 {
+		// Spread initial round-robin positions across consumers.
+		st.rrSender = inst.idx % len(senders)
+	}
+	return &reqLoop{
+		w: w, inst: inst, rt: inst.rt, qi: qi,
+		st: st, stream: stream, senders: senders, backoff: minBackoff,
+	}
+}
+
+// pick selects the next upstream sender round-robin. Crashed producers are
+// skipped like producers with no data: nil return, empty streak bumped.
+func (l *reqLoop) pick() *sender {
+	snd := l.senders[l.st.rrSender%len(l.senders)]
+	l.st.rrSender++
+	if snd.inst.dead {
+		l.emptyStreak++
+		return nil
+	}
+	return snd
+}
+
+// settle applies one fetch outcome to the requester's bookkeeping — the
+// receive half of Algorithm 3, shared by both process flavours.
+func (l *reqLoop) settle(fe *sim.Env, t0 sim.Time, rep reply, ok bool) {
+	w, st, inst, qi := l.w, l.st, l.inst, l.qi
+	switch {
+	case !ok || rep.eof:
+		l.eof = true
+		st.requestSize--
+		w.noteDemand(fe.Now(), qi, DemandEOF, st.requestSize)
+	case rep.t != nil && inst.dead:
+		// We crashed while the buffer was in flight: hand it back to
+		// a surviving upstream sender for redelivery elsewhere.
+		l.stream.stats.reenqueued++
+		inst.liveUpstream(qi).out.push(rep.t)
+		st.requestSize--
+	case rep.t != nil:
+		st.lastLatency = fe.Now() - t0
+		st.haveLatency = true
+		inst.fetcher[rep.t.ID] = st
+		inst.inputs[qi].queue.Push(rep.t)
+		l.stream.stats.delivered++
+		inst.noteDeliver(qi, rep.t, false)
+		w.noteDemand(fe.Now(), qi, DemandData, st.requestSize)
+		inst.noteInputDepth(qi)
+		inst.taskAvail.NotifyAll()
+		l.backoff = minBackoff
+		l.emptyStreak = 0
+	default: // empty reply: nothing in transit after all
+		st.requestSize--
+		l.emptyStreak++
+		w.noteDemand(fe.Now(), qi, DemandEmpty, st.requestSize)
+	}
+	inst.demand.NotifyAll() // let the issuing loop reassess
+}
+
+// fetchBlocking runs one fetch protocol round in a blocking process: ship
+// the demand message, hand the request to the sender, wait for the reply.
+func (l *reqLoop) fetchBlocking(fe *sim.Env, snd *sender) {
+	t0 := fe.Now()
+	replyCh := sim.NewChan[reply](l.rt.K, 1)
+	l.rt.Cluster.Net.Send(fe, l.inst.node, snd.inst.node, ctrlMsgBytes)
+	snd.reqCh.Put(fe, &request{kind: l.w.kind, from: l.inst.node, fromInst: l.inst.idx, reply: replyCh})
+	rep, ok := replyCh.Get(fe)
+	l.settle(fe, t0, rep, ok)
+}
+
+// fetchStep is the continuation form of fetchBlocking: the same protocol
+// round as a step chain — demand message on the wire, request hand-off,
+// reply wait, settle — then next.
+func (l *reqLoop) fetchStep(fe *sim.Env, snd *sender, next sim.Step) sim.Cont {
+	t0 := fe.Now()
+	replyCh := sim.NewChan[reply](l.rt.K, 1)
+	return l.rt.Cluster.Net.SendThen(fe, l.inst.node, snd.inst.node, ctrlMsgBytes, func(fe *sim.Env) sim.Cont {
+		req := &request{kind: l.w.kind, from: l.inst.node, fromInst: l.inst.idx, reply: replyCh}
+		return snd.reqCh.PutThen(fe, req, func(fe *sim.Env) sim.Cont {
+			return replyCh.GetThen(fe, func(fe *sim.Env, rep reply, ok bool) sim.Cont {
+				l.settle(fe, t0, rep, ok)
+				return next(fe)
+			})
+		})
+	})
+}
+
+// requester is the blocking reference flavour of ThreadRequester
+// (Tunables.BlockingHelpers); the default stackless flavour is
+// requesterStep.
+func (w *worker) requester(e *sim.Env, qi int) {
+	l := w.newReqLoop(qi)
+	if len(l.senders) == 0 {
 		return
 	}
-	// Spread initial round-robin positions across consumers.
-	st.rrSender = inst.idx % len(senders)
-	backoff := minBackoff
-	emptyStreak := 0
-	eof := false
-	for !rt.track.done.Fired() && !eof && !inst.dead {
+	st, inst, rt := l.st, l.inst, l.rt
+	for !rt.track.done.Fired() && !l.eof && !inst.dead {
 		if st.requestSize >= w.targetFor(st) {
 			inst.demand.Wait(e)
 			continue
 		}
-		if emptyStreak >= len(senders) {
-			emptyStreak = 0
-			e.Sleep(backoff)
-			if backoff < maxBackoff {
-				backoff *= 2
+		if l.emptyStreak >= len(l.senders) {
+			l.emptyStreak = 0
+			e.Sleep(l.backoff)
+			if l.backoff < maxBackoff {
+				l.backoff *= 2
 			}
 			continue
 		}
-		snd := senders[st.rrSender%len(senders)]
-		st.rrSender++
-		if snd.inst.dead {
-			// Crashed producers are skipped like producers with no data.
-			emptyStreak++
+		snd := l.pick()
+		if snd == nil {
 			continue
 		}
 		st.requestSize++ // in transit counts toward the target
 		w.noteDemand(e.Now(), qi, DemandIssued, st.requestSize)
-		fetch := func(fe *sim.Env) {
-			t0 := fe.Now()
-			replyCh := sim.NewChan[reply](rt.K, 1)
-			rt.Cluster.Net.Send(fe, inst.node, snd.inst.node, ctrlMsgBytes)
-			snd.reqCh.Put(fe, &request{kind: w.kind, from: inst.node, fromInst: inst.idx, reply: replyCh})
-			rep, ok := replyCh.Get(fe)
-			switch {
-			case !ok || rep.eof:
-				eof = true
-				st.requestSize--
-				w.noteDemand(fe.Now(), qi, DemandEOF, st.requestSize)
-			case rep.t != nil && inst.dead:
-				// We crashed while the buffer was in flight: hand it back to
-				// a surviving upstream sender for redelivery elsewhere.
-				stream.stats.reenqueued++
-				inst.liveUpstream(qi).out.push(rep.t)
-				st.requestSize--
-			case rep.t != nil:
-				st.lastLatency = fe.Now() - t0
-				st.haveLatency = true
-				inst.fetcher[rep.t.ID] = st
-				inst.inputs[qi].queue.Push(rep.t)
-				stream.stats.delivered++
-				inst.noteDeliver(qi, rep.t, false)
-				w.noteDemand(fe.Now(), qi, DemandData, st.requestSize)
-				inst.noteInputDepth(qi)
-				inst.taskAvail.NotifyAll()
-				backoff = minBackoff
-				emptyStreak = 0
-			default: // empty reply: nothing in transit after all
-				st.requestSize--
-				emptyStreak++
-				w.noteDemand(fe.Now(), qi, DemandEmpty, st.requestSize)
-			}
-			inst.demand.NotifyAll() // let the issuing loop reassess
-		}
 		if rt.tun.SerialRequester {
 			// Ablation: the literal synchronous loop of Algorithm 3.
-			fetch(e)
+			l.fetchBlocking(e, snd)
 			continue
 		}
-		e.Spawn(w.name()+"/fetch", fetch)
+		e.Spawn(w.fetchName, func(fe *sim.Env) { l.fetchBlocking(fe, snd) })
 		// Yield so the fetch runs (deterministically) before the next
 		// issue decision; the fetch itself blocks on network latency.
 		e.Yield()
 	}
+}
+
+// requesterStep is the stackless ThreadRequester: the same issue loop as
+// requester, with every blocking point armed as a continuation — demand
+// headroom (condition wait), empty-cycle backoff (timer), and the fetch
+// protocol (a chain over demand send, request hand-off and reply wait).
+// Non-blocking transitions — dead producers, loop re-checks — stay inside
+// the inner for, exactly like the blocking loop's continue. The backoff is
+// doubled *after* the timer fires, as the blocking flavour does, because an
+// in-flight fetch that lands data mid-backoff resets it to the minimum.
+func (w *worker) requesterStep(e *sim.Env, qi int) sim.Cont {
+	l := w.newReqLoop(qi)
+	if len(l.senders) == 0 {
+		return sim.Done()
+	}
+	st, inst, rt := l.st, l.inst, l.rt
+	var loop sim.Step
+	loop = func(e *sim.Env) sim.Cont {
+		for !rt.track.done.Fired() && !l.eof && !inst.dead {
+			if st.requestSize >= w.targetFor(st) {
+				return inst.demand.WaitThen(e, loop)
+			}
+			if l.emptyStreak >= len(l.senders) {
+				l.emptyStreak = 0
+				return sim.After(l.backoff, func(e *sim.Env) sim.Cont {
+					if l.backoff < maxBackoff {
+						l.backoff *= 2
+					}
+					return loop(e)
+				})
+			}
+			snd := l.pick()
+			if snd == nil {
+				continue
+			}
+			st.requestSize++ // in transit counts toward the target
+			w.noteDemand(e.Now(), qi, DemandIssued, st.requestSize)
+			if rt.tun.SerialRequester {
+				// Ablation: the fetch chains on this process itself, then
+				// resumes the loop — the literal synchronous Algorithm 3.
+				return l.fetchStep(e, snd, loop)
+			}
+			e.SpawnStep(w.fetchName, func(fe *sim.Env) sim.Cont {
+				return l.fetchStep(fe, snd, sim.DoneStep)
+			})
+			// After(0) is the step-world Yield: the just-spawned fetch runs
+			// (deterministically) before the next issue decision.
+			return sim.After(0, loop)
+		}
+		return sim.Done()
+	}
+	return loop(e)
 }

@@ -1,0 +1,176 @@
+package core
+
+// Differential tests for the stackless message-path migration. The runtime
+// keeps both flavours of every per-message helper process — the blocking
+// coroutines the code started with (Tunables.BlockingHelpers) and the
+// stackless step chains that replaced them on the default path — and the
+// two must be observationally indistinguishable: same Result, and the same
+// hook-bus record stream, record for record, in order. The pipeline here is
+// chosen to cross every migrated proc: lazy multi-instance source (sender
+// serve loop, reply transmission, fetch), a forwarding+resubmitting middle
+// stage (resubmit proc), a GPU sink in asynchronous copy mode (h2d/d2h
+// steps), remote and local network hops, DQAA-driven demand, and a
+// mid-run crash (dead-producer skips, reclaim paths).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// traceAllHooks subscribes every hook of the bus and renders each record
+// into one line, preserving the global emission order.
+func traceAllHooks(rt *Runtime) *[]string {
+	lines := &[]string{}
+	add := func(kind string, rec any) {
+		*lines = append(*lines, fmt.Sprintf("%s %+v", kind, rec))
+	}
+	rt.Hooks = Bus{
+		Process:    func(r ProcRecord) { add("process", r) },
+		Target:     func(r TargetRecord) { add("target", r) },
+		QueueDepth: func(r QueueDepthRecord) { add("depth", r) },
+		Demand:     func(r DemandRecord) { add("demand", r) },
+		Send:       func(r SendRecord) { add("send", r) },
+		Emit:       func(r EmitRecord) { add("emit", r) },
+		Deliver:    func(r DeliverRecord) { add("deliver", r) },
+		Fault:      func(r FaultRecord) { add("fault", r) },
+		Span:       func(r SpanRecord) { add("span", r) },
+	}
+	return lines
+}
+
+// runDiffPipeline executes the representative pipeline with the chosen
+// helper flavour and returns the run result plus the full hook trace.
+func runDiffPipeline(t *testing.T, blocking, serialRequester bool) (Result, []string) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	c := hw.NewCluster(k, []hw.NodeSpec{
+		{CPUCores: 2},
+		{CPUCores: 2, HasGPU: true},
+	}, nil)
+	rt := New(c, nil)
+	rt.Tun = Tunables{BlockingHelpers: blocking, SerialRequester: serialRequester}
+	lines := traceAllHooks(rt)
+
+	src := rt.AddFilter(FilterSpec{
+		Name:        "reader",
+		Placement:   []int{0, 1},
+		SourceCount: func(int) int { return 60 },
+		SourceMake: func(inst, i int) *task.Task {
+			return &task.Task{
+				Size: 40 << 10, OutSize: 4 << 10,
+				Cost: func(kw hw.Kind) sim.Time {
+					if kw == hw.GPU {
+						return 300 * sim.Microsecond
+					}
+					return sim.Millisecond
+				},
+				Payload: 0,
+			}
+		},
+	})
+	mid := rt.AddFilter(FilterSpec{
+		Name: "normalize", Placement: []int{0, 1}, CPUWorkers: 1,
+		Handler: func(ctx *Ctx, tk *task.Task) Action {
+			act := Action{Forward: []*task.Task{{
+				Size: 24 << 10, OutSize: 2 << 10,
+				Cost: func(kw hw.Kind) sim.Time {
+					if kw == hw.GPU {
+						return 200 * sim.Microsecond
+					}
+					return 800 * sim.Microsecond
+				},
+				Payload: tk.Payload,
+			}}}
+			// First-generation work occasionally recalculates: the
+			// resubmission re-enters at the root source filter.
+			if gen := tk.Payload.(int); gen == 0 && tk.ID%7 == 0 {
+				act.Resubmit = []*task.Task{{
+					Size: 40 << 10, OutSize: 4 << 10,
+					Cost:    func(hw.Kind) sim.Time { return 500 * sim.Microsecond },
+					Payload: 1,
+				}}
+			}
+			return act
+		},
+	})
+	sink := rt.AddFilter(FilterSpec{
+		Name: "classify", Placement: []int{1},
+		UseGPU: true, GPUWorkers: 1, CPUWorkers: 0,
+		AsyncCopy: true, MaxConcurrentCopies: 4,
+		Handler: func(ctx *Ctx, tk *task.Task) Action { return Action{} },
+	})
+	rt.Connect(src, mid, policy.ODDS())
+	rt.Connect(mid, sink, policy.DDWRR(4))
+
+	// Fail-stop one middle instance mid-run, exactly as fault.Apply's crash
+	// injector does (internal/fault is not importable from this package).
+	rt.K.SpawnStep("fault0/crash", func(e *sim.Env) sim.Cont {
+		return sim.After(8*sim.Millisecond, func(e *sim.Env) sim.Cont {
+			rt.CrashInstance(e, mid, 1)
+			return sim.Done()
+		})
+	})
+
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, *lines
+}
+
+// TestStepHelpersMatchBlockingHelpers is the core differential gate of the
+// migration: pipelined requesters (the default protocol).
+func TestStepHelpersMatchBlockingHelpers(t *testing.T) {
+	resBlock, traceBlock := runDiffPipeline(t, true, false)
+	resStep, traceStep := runDiffPipeline(t, false, false)
+	compareDiffRuns(t, resBlock, traceBlock, resStep, traceStep)
+}
+
+// TestStepHelpersMatchBlockingSerialRequester repeats the differential gate
+// under the SerialRequester ablation, where the fetch chains on the
+// requester process itself instead of a spawned helper.
+func TestStepHelpersMatchBlockingSerialRequester(t *testing.T) {
+	resBlock, traceBlock := runDiffPipeline(t, true, true)
+	resStep, traceStep := runDiffPipeline(t, false, true)
+	compareDiffRuns(t, resBlock, traceBlock, resStep, traceStep)
+}
+
+func compareDiffRuns(t *testing.T, resBlock Result, traceBlock []string, resStep Result, traceStep []string) {
+	t.Helper()
+	if resBlock != resStep {
+		t.Errorf("results differ:\n  blocking: %+v\n  step:     %+v", resBlock, resStep)
+	}
+	if resStep.Completed == 0 || resStep.Makespan == 0 {
+		t.Fatalf("degenerate run: %+v", resStep)
+	}
+	crashes, spans := 0, 0
+	for _, l := range traceStep {
+		switch {
+		case len(l) >= 5 && l[:5] == "fault":
+			crashes++
+		case len(l) >= 4 && l[:4] == "span":
+			spans++
+		}
+	}
+	if crashes == 0 {
+		t.Error("trace has no fault record: the crash did not land mid-run")
+	}
+	if spans == 0 {
+		t.Error("trace has no GPU pipeline spans: the async executor was not exercised")
+	}
+	if len(traceBlock) != len(traceStep) {
+		t.Fatalf("trace lengths differ: blocking %d records, step %d records",
+			len(traceBlock), len(traceStep))
+	}
+	for i := range traceBlock {
+		if traceBlock[i] != traceStep[i] {
+			t.Fatalf("trace diverges at record %d:\n  blocking: %s\n  step:     %s",
+				i, traceBlock[i], traceStep[i])
+		}
+	}
+}

@@ -29,46 +29,60 @@ func Apply(rt *core.Runtime, s *Schedule) error {
 	for i, ev := range s.Events {
 		ev := ev
 		name := fmt.Sprintf("fault%d/%s", i, ev.Kind)
+		// Injector processes are pure timers — sleep to the event, apply,
+		// sleep out the window, revert — so they run as stackless step
+		// chains rather than coroutines.
 		switch ev.Kind {
 		case Slow:
 			devs := slowTargets(rt, ev)
-			rt.K.Spawn(name, func(e *sim.Env) {
-				e.Sleep(ev.At)
-				emitWindow(rt, e, ev, "slow", "begin")
-				for _, d := range devs {
-					d.ScaleCost(ev.Factor)
-				}
-				e.Sleep(ev.Dur)
-				for _, d := range devs {
-					d.ScaleCost(1 / ev.Factor)
-				}
-				emitWindow(rt, e, ev, "slow", "end")
+			rt.K.SpawnStep(name, func(e *sim.Env) sim.Cont {
+				return sim.After(ev.At, func(e *sim.Env) sim.Cont {
+					emitWindow(rt, e, ev, "slow", "begin")
+					for _, d := range devs {
+						d.ScaleCost(ev.Factor)
+					}
+					return sim.After(ev.Dur, func(e *sim.Env) sim.Cont {
+						for _, d := range devs {
+							d.ScaleCost(1 / ev.Factor)
+						}
+						emitWindow(rt, e, ev, "slow", "end")
+						return sim.Done()
+					})
+				})
 			})
 		case Net:
 			net := rt.Cluster.Net
-			rt.K.Spawn(name, func(e *sim.Env) {
-				e.Sleep(ev.At)
-				emitWindow(rt, e, ev, "net", "begin")
-				net.Degrade(ev.Node, ev.Latency, ev.Factor)
-				e.Sleep(ev.Dur)
-				net.Degrade(ev.Node, -ev.Latency, 1/ev.Factor)
-				emitWindow(rt, e, ev, "net", "end")
+			rt.K.SpawnStep(name, func(e *sim.Env) sim.Cont {
+				return sim.After(ev.At, func(e *sim.Env) sim.Cont {
+					emitWindow(rt, e, ev, "net", "begin")
+					net.Degrade(ev.Node, ev.Latency, ev.Factor)
+					return sim.After(ev.Dur, func(e *sim.Env) sim.Cont {
+						net.Degrade(ev.Node, -ev.Latency, 1/ev.Factor)
+						emitWindow(rt, e, ev, "net", "end")
+						return sim.Done()
+					})
+				})
 			})
 		case PCIe:
 			link := rt.Cluster.Nodes[ev.Node].Link
-			rt.K.Spawn(name, func(e *sim.Env) {
-				e.Sleep(ev.At)
-				emitWindow(rt, e, ev, "pcie", "begin")
-				link.Degrade(ev.Latency, ev.Factor)
-				e.Sleep(ev.Dur)
-				link.Degrade(-ev.Latency, 1/ev.Factor)
-				emitWindow(rt, e, ev, "pcie", "end")
+			rt.K.SpawnStep(name, func(e *sim.Env) sim.Cont {
+				return sim.After(ev.At, func(e *sim.Env) sim.Cont {
+					emitWindow(rt, e, ev, "pcie", "begin")
+					link.Degrade(ev.Latency, ev.Factor)
+					return sim.After(ev.Dur, func(e *sim.Env) sim.Cont {
+						link.Degrade(-ev.Latency, 1/ev.Factor)
+						emitWindow(rt, e, ev, "pcie", "end")
+						return sim.Done()
+					})
+				})
 			})
 		case Crash:
 			f, _ := rt.FilterByName(ev.Filter) // existence checked in validate
-			rt.K.Spawn(name, func(e *sim.Env) {
-				e.Sleep(ev.At)
-				rt.CrashInstance(e, f, ev.Instance)
+			rt.K.SpawnStep(name, func(e *sim.Env) sim.Cont {
+				return sim.After(ev.At, func(e *sim.Env) sim.Cont {
+					rt.CrashInstance(e, f, ev.Instance)
+					return sim.Done()
+				})
 			})
 		}
 	}

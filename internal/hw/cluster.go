@@ -117,6 +117,55 @@ func (n *Network) Send(e *sim.Env, from, to *Node, bytes int64) {
 	n.bytes += bytes
 }
 
+// SendThen is the continuation form of Send, for stackless (step) processes:
+// it models the same segment-interleaved NIC serialization plus propagation
+// latency — sharing the egress resource's FIFO queue with blocking senders,
+// so arbitration order is one discipline across process flavours — and then
+// runs next. NIC degradations are sampled once, when the send starts, exactly
+// as Send does. Steps must return the directive SendThen returns.
+func (n *Network) SendThen(e *sim.Env, from, to *Node, bytes int64, next sim.Step) sim.Cont {
+	if from == to {
+		d := n.cfg.LocalLatency
+		if n.cfg.LocalBandwidthBps > 0 {
+			d += sim.Time(float64(bytes) / n.cfg.LocalBandwidthBps)
+		}
+		return sim.After(d, next)
+	}
+	bw := n.cfg.BandwidthBps
+	lat := n.cfg.Latency
+	if n.deg != nil {
+		if d := n.deg[from.ID]; d != nil {
+			bw *= d.bwScale
+			lat += d.latency
+		}
+		if d := n.deg[to.ID]; d != nil {
+			lat += d.latency
+		}
+	}
+	var sent int64
+	var segment sim.Step
+	segment = func(e *sim.Env) sim.Cont {
+		if sent >= bytes {
+			return sim.After(lat, func(e *sim.Env) sim.Cont {
+				n.bytes += bytes
+				return next(e)
+			})
+		}
+		seg := bytes - sent
+		if seg > segmentBytes {
+			seg = segmentBytes
+		}
+		sent += seg
+		return from.egress.AcquireThen(e, func(e *sim.Env) sim.Cont {
+			return sim.After(sim.Time(float64(seg)/bw), func(e *sim.Env) sim.Cont {
+				from.egress.Release()
+				return segment(e)
+			})
+		})
+	}
+	return segment(e)
+}
+
 // NodeSpec describes one machine when building a cluster.
 type NodeSpec struct {
 	// CPUCores is the number of general-purpose cores.

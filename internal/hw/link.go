@@ -97,6 +97,31 @@ func (l *Link) Copy(e *sim.Env, bytes int64, dir Direction) {
 	l.busy += e.Now() - start
 }
 
+// CopyThen is the continuation form of Copy, for stackless (step) processes:
+// the transfer joins the DMA engine's FIFO queue (shared with blocking
+// callers, so arbitration order is one discipline across flavours), samples
+// congestion at service start exactly as Copy does, and runs next once the
+// bytes have moved. Steps must return the directive CopyThen returns.
+func (l *Link) CopyThen(e *sim.Env, bytes int64, dir Direction, next sim.Step) sim.Cont {
+	if bytes < 0 {
+		panic("hw: negative transfer size")
+	}
+	l.inflight++
+	return l.engine.AcquireThen(e, func(e *sim.Env) sim.Cont {
+		extra := float64(l.inflight - 1)
+		wire := sim.Time(float64(bytes)/(l.cfg.BandwidthBps*l.degBW)) * sim.Time(1+l.cfg.Congestion*extra)
+		d := l.cfg.Latency + l.degLat + wire
+		start := e.Now()
+		return sim.After(d, func(e *sim.Env) sim.Cont {
+			l.engine.Release()
+			l.inflight--
+			l.traffic[dir] += bytes
+			l.busy += e.Now() - start
+			return next(e)
+		})
+	})
+}
+
 // TransferTime returns the uncongested time to move bytes one way. Useful
 // for cost accounting and tests.
 func (l *Link) TransferTime(bytes int64) sim.Time {

@@ -87,6 +87,72 @@ func spawnChurnStepWorkload(n int) {
 	}
 }
 
+// messagePathWorkload models the runtime's migrated per-message pattern
+// with blocking processes: a driver spawns one short-lived "send" process
+// per message, which acquires an exclusive NIC-like resource, holds it for
+// the wire time, releases it and delivers a reply through a channel the
+// driver is waiting on — the spawn/acquire/put shape of the sender reply
+// path and the requester fetch.
+func messagePathWorkload(n int) {
+	k := NewKernel(1)
+	nic := NewResource(k, 1)
+	replies := NewChan[int](k, 1)
+	send := func(e *Env) {
+		nic.Acquire(e)
+		e.Sleep(10 * Microsecond)
+		nic.Release()
+		replies.Put(e, 1)
+	}
+	k.Spawn("driver", func(e *Env) {
+		for i := 0; i < n; i++ {
+			e.Spawn("send", send)
+			if _, ok := replies.Get(e); !ok {
+				panic("sim: reply channel closed early")
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
+// messagePathStepWorkload is messagePathWorkload with continuation
+// processes on both sides: the post-migration shape of the message path,
+// with the per-message chain built from hoisted steps so steady state costs
+// only the channel parking record.
+func messagePathStepWorkload(n int) {
+	k := NewKernel(1)
+	nic := NewResource(k, 1)
+	replies := NewChan[int](k, 1)
+	finish := func(e *Env) Cont {
+		nic.Release()
+		return replies.PutThen(e, 1, DoneStep)
+	}
+	hold := func(e *Env) Cont { return After(10*Microsecond, finish) }
+	send := func(e *Env) Cont { return nic.AcquireThen(e, hold) }
+	left := n
+	var driver Step
+	var onReply func(e *Env, v int, ok bool) Cont
+	driver = func(e *Env) Cont {
+		if left == 0 {
+			return Done()
+		}
+		left--
+		e.SpawnStep("send", send)
+		return replies.GetThen(e, onReply)
+	}
+	onReply = func(e *Env, v int, ok bool) Cont {
+		if !ok {
+			panic("sim: reply channel closed early")
+		}
+		return driver(e)
+	}
+	k.SpawnStep("driver", driver)
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}
+
 // zeroSleepWorkload is a single blocking process yielding n times with
 // nothing else scheduled, so every Sleep(0) takes the no-reschedule fast
 // path (one coroutine switch out and back per yield, no heap traffic).
@@ -147,6 +213,20 @@ func BenchmarkSpawnChurnStep(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		spawnChurnStepWorkload(1000)
+	}
+}
+
+func BenchmarkMessagePath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		messagePathWorkload(1000)
+	}
+}
+
+func BenchmarkMessagePathStep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		messagePathStepWorkload(1000)
 	}
 }
 
@@ -213,6 +293,28 @@ func TestSpawnPoolingAllocs(t *testing.T) {
 func TestSpawnPoolingStepAllocs(t *testing.T) {
 	allocCeiling(t, "step spawn churn (1000 short-lived procs)", 40, 3000, func() {
 		spawnChurnStepWorkload(1000)
+	})
+}
+
+// TestMessagePathAllocs pins the blocking message path: 1000 sequential
+// spawn → acquire → hold → release → reply rounds. Record pooling reuses
+// one coroutine and the wait queues recycle their backing arrays, so the
+// only per-message cost left is the channel parking record of the reply
+// wait (~1 allocation per message).
+func TestMessagePathAllocs(t *testing.T) {
+	allocCeiling(t, "message path (1000 blocking rounds)", 1200, 3000, func() {
+		messagePathWorkload(1000)
+	})
+}
+
+// TestMessagePathStepAllocs pins the continuation message path: the same
+// 1000 rounds with every per-message process a step chain. GetThen pays one
+// extra allocation over the blocking Get (the continuation wrapper holding
+// the received value) but no coroutine switches, which is why this flavour
+// runs several times faster despite the slightly higher count.
+func TestMessagePathStepAllocs(t *testing.T) {
+	allocCeiling(t, "step message path (1000 rounds)", 2200, 3000, func() {
+		messagePathStepWorkload(1000)
 	})
 }
 

@@ -86,8 +86,7 @@ func (c *Chan[T]) putReady(v T) bool {
 	// Direct hand-off to a waiting getter keeps FIFO order only when no
 	// values are already buffered ahead of v.
 	if len(c.getQ) > 0 && len(c.buf) == 0 {
-		g := c.getQ[0]
-		c.getQ = c.getQ[1:]
+		g := popFront(&c.getQ)
 		g.val, g.ok, g.hit = v, true, true
 		c.k.schedule(c.k.now, g.p)
 		return true
@@ -157,19 +156,16 @@ func (c *Chan[T]) TryGet() (T, bool) {
 // buffer) or accepts a value from a blocked putter directly (rendezvous).
 func (c *Chan[T]) takeReady() (T, bool) {
 	if len(c.buf) > 0 {
-		v := c.buf[0]
-		c.buf = c.buf[1:]
+		v := popFront(&c.buf)
 		if len(c.putQ) > 0 {
-			w := c.putQ[0]
-			c.putQ = c.putQ[1:]
+			w := popFront(&c.putQ)
 			c.buf = append(c.buf, w.val)
 			c.k.schedule(c.k.now, w.p)
 		}
 		return v, true
 	}
 	if len(c.putQ) > 0 { // capacity 0 rendezvous
-		w := c.putQ[0]
-		c.putQ = c.putQ[1:]
+		w := popFront(&c.putQ)
 		c.k.schedule(c.k.now, w.p)
 		return w.val, true
 	}

@@ -69,6 +69,28 @@ func After(d Time, next Step) Cont { return Cont{code: contAfter, at: d, next: n
 // like any other deadlocked process).
 func Blocked() Cont { return Cont{code: contBlocked} }
 
+// DoneStep is a terminal Step that immediately returns Done. It is the
+// natural tail of a spawned step chain — pass it as the `next` argument of
+// the last *Then in the chain instead of allocating a fresh closure per
+// message.
+func DoneStep(*Env) Cont { return Done() }
+
+// popFront removes and returns the first element of a wait queue, shifting
+// the rest down so the backing array is reused. Re-slicing from the front
+// (q = q[1:]) would strand one slot of capacity per pop and force append to
+// allocate a fresh array once the spare runs out — once per message on the
+// channel and resource hot paths. Queues here are short (usually one or two
+// waiters), so the shift is cheaper than the allocation it avoids.
+func popFront[T any](q *[]T) T {
+	s := *q
+	v := s[0]
+	var zero T
+	copy(s, s[1:])
+	s[len(s)-1] = zero
+	*q = s[:len(s)-1]
+	return v
+}
+
 // SpawnStep registers a new continuation process. It may be called before
 // Run or from inside any running process. The process starts at the current
 // virtual time, after previously scheduled same-time events — the same

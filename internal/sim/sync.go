@@ -60,9 +60,7 @@ func (r *Resource) Release() {
 		panic("sim: release of idle resource")
 	}
 	if len(r.waitQ) > 0 {
-		p := r.waitQ[0]
-		r.waitQ = r.waitQ[1:]
-		r.k.schedule(r.k.now, p)
+		r.k.schedule(r.k.now, popFront(&r.waitQ))
 		return // unit handed directly to the waiter
 	}
 	r.inUse--
@@ -149,12 +147,16 @@ func (c *Cond) WaitThen(e *Env, next Step) Cont {
 	return Blocked()
 }
 
-// NotifyAll wakes every currently waiting process.
+// NotifyAll wakes every currently waiting process. The waiter slice's
+// backing array is kept for reuse — workers and requesters re-wait on the
+// same Cond immediately, and dropping the array would cost one allocation
+// per notify/wait cycle on the demand path.
 func (c *Cond) NotifyAll() {
-	for _, p := range c.waiters {
+	for i, p := range c.waiters {
 		c.k.schedule(c.k.now, p)
+		c.waiters[i] = nil
 	}
-	c.waiters = nil
+	c.waiters = c.waiters[:0]
 }
 
 // NotifyOne wakes the longest-waiting process, if any.
@@ -162,9 +164,7 @@ func (c *Cond) NotifyOne() {
 	if len(c.waiters) == 0 {
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.k.schedule(c.k.now, p)
+	c.k.schedule(c.k.now, popFront(&c.waiters))
 }
 
 // WaitGroup tracks completion of a dynamic set of processes in virtual time.

@@ -31,6 +31,13 @@ go test -run '^$' -fuzz '^FuzzLoadProfile$' -fuzztime 10s ./internal/estimator
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/span
 go test -run '^$' -fuzz '^FuzzKernelScenario$' -fuzztime 15s ./internal/sim
 
+echo "== message-path alloc gates  (blocking + step flavours, without -race)"
+go test -run '^TestMessagePath|^TestSpawnPooling|^TestEventLoop|^TestZero' -count=1 -timeout 5m ./internal/sim
+
+echo "== message-path differential  (step helpers vs blocking reference, full hook trace)"
+go test -run '^TestStepHelpersMatchBlocking' -count=1 -timeout 10m ./internal/core
+go test -run '^TestSendThen|^TestCopyThen' -count=1 -timeout 5m ./internal/hw
+
 echo "== chaos determinism  (serial vs 4-worker fault-injection sweeps, seeds 1-3)"
 go test -run '^TestChaosDeterminism$' -timeout 20m ./internal/experiments
 
@@ -56,6 +63,20 @@ go run ./cmd/anthill-sim -exp fig10 -seed 1 -o /dev/null \
 go run ./cmd/anthill-sim -exp fig10 -seed 1 -o /dev/null \
     -parallel -workers 4 -explain-out "$tracedir/b.explain.json"
 cmp "$tracedir/a.explain.json" "$tracedir/b.explain.json"
+
+echo "== report byte-identity  (-exp all -seed 1 against the checked-in digest)"
+go run ./cmd/anthill-sim -exp all -seed 1 -parallel=false -o "$tracedir/exp_all_seed1.md"
+want=$(cut -d' ' -f1 scripts/exp_all_seed1.sha256)
+got=$(sha256sum "$tracedir/exp_all_seed1.md" | cut -d' ' -f1)
+if [ "$got" != "$want" ]; then
+    echo "exp_all_seed1.md digest mismatch:" >&2
+    echo "  want $want (scripts/exp_all_seed1.sha256)" >&2
+    echo "  got  $got" >&2
+    echo "The full seed-1 report changed. If the change is an intentional model" >&2
+    echo "update, regenerate the digest; if this is a refactor, it broke" >&2
+    echo "byte-for-byte determinism." >&2
+    exit 1
+fi
 
 if [ -z "${SKIP_BENCH:-}" ]; then
     echo "== benchsweep  (regenerates BENCH_sweep.json)"
