@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism byte-identity check verify
+.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism serving-determinism byte-identity check verify
 
 all: build
 
@@ -22,15 +22,18 @@ test-short:
 test-race:
 	$(GO) test -race -timeout 20m ./...
 
-# Short fuzz runs of the four fuzz targets with checked-in corpora: the
+# Short fuzz runs of the six fuzz targets with checked-in corpora: the
 # -faults spec parser, the estimator profile loader, the makespan
-# attribution (explain JSON) decoder, and the kernel-vs-oracle scenario
-# differ (byte-decoded concurrent programs run on both sim kernels).
+# attribution (explain JSON) decoder, the kernel-vs-oracle scenario differ
+# (byte-decoded concurrent programs run on both sim kernels), the -arrivals
+# spec parser, and the latency quantile-sketch decoder.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/fault
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadProfile$$' -fuzztime 10s ./internal/estimator
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/span
 	$(GO) test -run '^$$' -fuzz '^FuzzKernelScenario$$' -fuzztime 15s ./internal/sim
+	$(GO) test -run '^$$' -fuzz '^FuzzParseArrivals$$' -fuzztime 10s ./internal/arrival
+	$(GO) test -run '^$$' -fuzz '^FuzzSketchDecode$$' -fuzztime 10s ./internal/obs
 
 # Regenerates BENCH_sweep.json: full-report wall time serial vs parallel,
 # points/sec, speedup, byte-identity, and kernel allocs/op.
@@ -62,6 +65,23 @@ explain-determinism:
 	cmp "$$dir/a.explain.json" "$$dir/b.explain.json" && \
 	echo "explain-determinism: byte-identical"
 
+# The open-system serving report must be byte-identical serial vs 4-worker:
+# the in-process sweep across seeds 1-3 (under the race detector), plus one
+# CLI-level comparison with a scripted arrival schedule.
+serving-determinism:
+	$(GO) test -race -run '^TestServing' -timeout 20m ./internal/experiments
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	for seed in 1 2 3; do \
+	  $(GO) run ./cmd/anthill-sim -exp serving -seed $$seed -parallel=false \
+	      -arrivals 'poisson:rate=4000,n=600;burst:rate=1000,n=200,peak=4,period=50ms' \
+	      -o "$$dir/a.md"; \
+	  $(GO) run ./cmd/anthill-sim -exp serving -seed $$seed -parallel -workers 4 \
+	      -arrivals 'poisson:rate=4000,n=600;burst:rate=1000,n=200,peak=4,period=50ms' \
+	      -o "$$dir/b.md"; \
+	  cmp "$$dir/a.md" "$$dir/b.md" || exit 1; \
+	done; \
+	echo "serving-determinism: byte-identical (seeds 1-3)"
+
 # The full seed-1 report must match the checked-in digest byte-for-byte
 # (scripts/exp_all_seed1.sha256). Regenerate the digest only for intentional
 # model changes; a mismatch after a refactor means determinism broke.
@@ -75,8 +95,9 @@ byte-identity:
 
 # Mid-weight verification: vet + tier-1 tests + fuzz smoke + the chaos
 # fault-injection determinism check (serial vs 4 workers, seeds 1-3) + the
-# trace/metrics, explain-artifact and full-report byte-identity gates.
-verify: vet test fuzz-smoke trace-determinism explain-determinism byte-identity
+# trace/metrics, explain-artifact, serving and full-report byte-identity
+# gates.
+verify: vet test fuzz-smoke trace-determinism explain-determinism serving-determinism byte-identity
 	$(GO) test -run '^TestChaosDeterminism$$' -timeout 20m ./internal/experiments
 
 # Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,

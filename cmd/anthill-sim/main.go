@@ -5,6 +5,7 @@
 //
 //	anthill-sim [-exp all|table1|fig6|...] [-full] [-seed N] [-o FILE]
 //	anthill-sim -exp chaos [-faults SPEC]
+//	anthill-sim -exp serving [-arrivals SPEC]
 //	anthill-sim -exp fig7 -trace trace.json -metrics-out metrics.json
 //	anthill-sim -exp fig10 -explain -explain-out explain.json
 //
@@ -15,6 +16,14 @@
 // shape and finishes in a few minutes. -faults replaces the chaos
 // experiment's random intensity sweep with a scripted fault schedule (see
 // the fault-spec syntax in README.md or internal/fault).
+//
+// -exp serving runs the open-system extension: Poisson arrivals at an
+// admission-controlled gateway feeding a heterogeneous serve pool, with
+// end-to-end latency percentiles (p50/p99/p999) per stream policy. It is
+// an extra — not part of -exp all or its pinned digest. -arrivals replaces
+// the default load sweep with a scripted arrival schedule (see the spec
+// syntax in internal/arrival), e.g.
+// 'poisson:rate=4000,n=800;burst:rate=1000,n=200,peak=4,period=50ms'.
 //
 // -trace and -metrics-out attach the observability layer (internal/obs,
 // internal/trace) to a representative run of the chosen experiment and
@@ -42,6 +51,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/arrival"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -95,6 +105,7 @@ func main() {
 		parallel = flag.Bool("parallel", true, "run independent sweep points on all cores (output is byte-identical to serial)")
 		workers  = flag.Int("workers", 0, "sweep worker count (0 = GOMAXPROCS, or the ANTHILL_WORKERS env var)")
 		faults   = flag.String("faults", "", "scripted fault schedule for -exp chaos, e.g. 'slow:node=0,at=100ms,for=500ms,x=4;crash:filter=nbia,inst=3,at=200ms'")
+		arrivals = flag.String("arrivals", "", "scripted arrival schedule for -exp serving, e.g. 'poisson:rate=4000,n=800;trace:at=1ms/2ms'")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON capture of the experiment to this file (view in ui.perfetto.dev; requires a single -exp)")
 		metrOut  = flag.String("metrics-out", "", "write the experiment's metrics-registry JSON to this file (requires a single -exp)")
 		explain  = flag.Bool("explain", false, "append the makespan attribution (critical path, breakdowns, bottlenecks) to the report; with -exp all, adds a breakdown line per experiment")
@@ -116,6 +127,17 @@ func main() {
 		}
 		if *exp != "chaos" {
 			fmt.Fprintln(os.Stderr, "anthill-sim: -faults requires -exp chaos")
+			os.Exit(1)
+		}
+	}
+
+	if *arrivals != "" {
+		if _, err := arrival.Parse(*arrivals); err != nil {
+			fmt.Fprintln(os.Stderr, "anthill-sim: bad -arrivals spec:", err)
+			os.Exit(1)
+		}
+		if *exp != "serving" {
+			fmt.Fprintln(os.Stderr, "anthill-sim: -arrivals requires -exp serving")
 			os.Exit(1)
 		}
 	}
@@ -145,11 +167,14 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %-10s %s\n", e.ID, e.PaperRef, e.Title)
 		}
+		for _, e := range experiments.Extras() {
+			fmt.Printf("%-8s %-10s %s (extra: not part of -exp all)\n", e.ID, e.PaperRef, e.Title)
+		}
 		return
 	}
 
 	cfg := experiments.Config{
-		Full: *full, Seed: *seed, FaultSpec: *faults,
+		Full: *full, Seed: *seed, FaultSpec: *faults, ArrivalSpec: *arrivals,
 		Observe: *traceOut != "" || *metrOut != "" || *explain || *explOut != "",
 	}
 	w := os.Stdout
@@ -171,6 +196,9 @@ func main() {
 		if !ok {
 			var ids []string
 			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+			for _, e := range experiments.Extras() {
 				ids = append(ids, e.ID)
 			}
 			fmt.Fprintf(os.Stderr, "anthill-sim: unknown experiment %q (have: %s)\n",

@@ -114,6 +114,32 @@ func timedRunAll(cfg experiments.Config, workers int) (runResult, string) {
 	}, buf.String()
 }
 
+// timedServing regenerates the open-system serving report (an extra, so
+// RunAll never covers it) on the given pool size and times it, as the
+// serving workload row of the summary.
+func timedServing(cfg experiments.Config, workers int) runResult {
+	e, ok := experiments.ByID("serving")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchsweep: serving experiment not registered")
+		os.Exit(1)
+	}
+	experiments.SetWorkers(workers)
+	defer experiments.SetWorkers(0)
+	experiments.ResetPointCount()
+	start := time.Now()
+	rep := e.Run(cfg)
+	wall := time.Since(start).Seconds()
+	if !rep.Passed() {
+		fmt.Fprintln(os.Stderr, "benchsweep: serving shape checks failed")
+		os.Exit(1)
+	}
+	points := experiments.PointCount()
+	return runResult{
+		Mode: "serving", Workers: workers, WallSeconds: wall,
+		Points: points, PointsPerSec: float64(points) / wall,
+	}
+}
+
 // writerCounter accumulates the report so the serial and parallel renders
 // can be compared byte for byte.
 type writerCounter struct{ b []byte }
@@ -400,6 +426,10 @@ func main() {
 	parExplain, _ := timedRunAll(explainCfg, parWorkers)
 	fmt.Fprintf(os.Stderr, "benchsweep: parallel+explain %.1fs, %d points (%.1f points/s)\n",
 		parExplain.WallSeconds, parExplain.Points, parExplain.PointsPerSec)
+	fmt.Fprintf(os.Stderr, "benchsweep: serving run (open-system extra, %d workers)...\n", parWorkers)
+	serving := timedServing(cfg, parWorkers)
+	fmt.Fprintf(os.Stderr, "benchsweep: serving %.1fs, %d points (%.1f points/s)\n",
+		serving.WallSeconds, serving.Points, serving.PointsPerSec)
 
 	effective := parWorkers
 	if mp := runtime.GOMAXPROCS(0); mp < effective {
@@ -413,7 +443,7 @@ func main() {
 		GOMAXPROCS:              runtime.GOMAXPROCS(0),
 		Seed:                    *seed,
 		FullScale:               *full,
-		Runs:                    []runResult{serial, par, parExplain},
+		Runs:                    []runResult{serial, par, parExplain, serving},
 		Speedup:                 serial.WallSeconds / par.WallSeconds,
 		EffectiveParallelism:    effective,
 		ParallelComparisonValid: effective > 1,

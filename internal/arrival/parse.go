@@ -1,0 +1,241 @@
+package arrival
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Parse decodes a -arrivals spec into a Schedule. The syntax is a
+// semicolon-separated list of processes, each `kind:key=value,...`:
+//
+//	poisson:rate=R,n=N[,start=T]                 N Poisson arrivals at R/s
+//	burst:rate=R,n=N,peak=P,period=D[,start=T]   diurnal Poisson: the rate
+//	                                             swings between R and R*P
+//	                                             with period D
+//	uniform:rate=R,n=N[,start=T]                 N arrivals exactly 1/R apart
+//	trace:at=T1/T2/T3                            explicit instants, ascending
+//
+// Rates are requests per second; times are seconds, with optional s/ms/us
+// suffixes ("0.5", "500ms"). Whitespace around processes is ignored; empty
+// processes are skipped. Malformed input returns an error, never panics.
+func Parse(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, raw := range strings.Split(spec, ";") {
+		part := strings.TrimSpace(raw)
+		if part == "" {
+			continue
+		}
+		p, err := parseProc(part)
+		if err != nil {
+			return nil, fmt.Errorf("arrival: process %q: %w", part, err)
+		}
+		s.Procs = append(s.Procs, p)
+	}
+	return s, nil
+}
+
+func parseProc(part string) (Proc, error) {
+	head, rest, ok := strings.Cut(part, ":")
+	if !ok {
+		return Proc{}, fmt.Errorf("missing ':' after process kind")
+	}
+	var kind Kind
+	switch strings.TrimSpace(head) {
+	case "poisson":
+		kind = Poisson
+	case "burst":
+		kind = Burst
+	case "trace":
+		kind = Trace
+	case "uniform":
+		kind = Uniform
+	default:
+		return Proc{}, fmt.Errorf("unknown arrival kind %q", strings.TrimSpace(head))
+	}
+	kv, err := parseKV(rest)
+	if err != nil {
+		return Proc{}, err
+	}
+	p := Proc{Kind: kind}
+	switch kind {
+	case Poisson, Uniform:
+		if err := parseRated(kv, &p); err != nil {
+			return Proc{}, err
+		}
+	case Burst:
+		if err := kv.require("peak", "period"); err != nil {
+			return Proc{}, err
+		}
+		if err := parseRated(kv, &p); err != nil {
+			return Proc{}, err
+		}
+		if p.Peak, err = kv.floatVal("peak"); err != nil {
+			return Proc{}, err
+		}
+		if p.Period, err = kv.timeVal("period"); err != nil {
+			return Proc{}, err
+		}
+		if p.Peak < 1 || p.Peak > 1000 {
+			return Proc{}, fmt.Errorf("peak must be in [1, 1000]")
+		}
+		if p.Period <= 0 {
+			return Proc{}, fmt.Errorf("period must be > 0")
+		}
+	case Trace:
+		if err := kv.require("at"); err != nil {
+			return Proc{}, err
+		}
+		if p.At, err = kv.timeList("at"); err != nil {
+			return Proc{}, err
+		}
+	}
+	if len(kv) > 0 {
+		// Report the smallest leftover key: map iteration order would make
+		// the error message nondeterministic with several unknown keys.
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return Proc{}, fmt.Errorf("unknown key %q for %s arrivals", keys[0], kind)
+	}
+	return p, nil
+}
+
+// parseRated decodes the rate/n/start triple common to every generated
+// (non-trace) process.
+func parseRated(kv kvMap, p *Proc) error {
+	if err := kv.require("rate", "n"); err != nil {
+		return err
+	}
+	var err error
+	if p.Rate, err = kv.floatVal("rate"); err != nil {
+		return err
+	}
+	if p.N, err = kv.intVal("n"); err != nil {
+		return err
+	}
+	if _, ok := kv["start"]; ok {
+		if p.Start, err = kv.timeVal("start"); err != nil {
+			return err
+		}
+	}
+	if p.Rate <= 0 || p.Rate > 1e9 {
+		return fmt.Errorf("rate must be in (0, 1e9] requests/s")
+	}
+	if p.N < 1 || p.N > maxCount {
+		return fmt.Errorf("n must be in [1, %d]", maxCount)
+	}
+	if p.Start < 0 {
+		return fmt.Errorf("start must be >= 0")
+	}
+	return nil
+}
+
+// kvMap holds a process's key=value pairs; accessors consume entries so
+// that leftovers can be flagged as unknown keys.
+type kvMap map[string]string
+
+func parseKV(s string) (kvMap, error) {
+	kv := make(kvMap)
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty key=value entry")
+		}
+		k, v, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not key=value", item)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func (kv kvMap) require(keys ...string) error {
+	for _, k := range keys {
+		if _, ok := kv[k]; !ok {
+			return fmt.Errorf("missing required key %q", k)
+		}
+	}
+	return nil
+}
+
+func (kv kvMap) intVal(key string) (int, error) {
+	v, err := strconv.Atoi(kv[key])
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not an integer", key, kv[key])
+	}
+	delete(kv, key)
+	return v, nil
+}
+
+func (kv kvMap) floatVal(key string) (float64, error) {
+	v, err := strconv.ParseFloat(kv[key], 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%s: %q is not a finite number", key, kv[key])
+	}
+	delete(kv, key)
+	return v, nil
+}
+
+// timeVal parses a duration in seconds with an optional s/ms/us suffix.
+func (kv kvMap) timeVal(key string) (sim.Time, error) {
+	v, err := parseTime(kv[key])
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", key, err)
+	}
+	delete(kv, key)
+	return v, nil
+}
+
+// timeList parses a '/'-separated ascending list of instants.
+func (kv kvMap) timeList(key string) ([]sim.Time, error) {
+	items := strings.Split(kv[key], "/")
+	if len(items) > maxCount {
+		return nil, fmt.Errorf("%s: more than %d instants", key, maxCount)
+	}
+	out := make([]sim.Time, 0, len(items))
+	for _, item := range items {
+		v, err := parseTime(strings.TrimSpace(item))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", key, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("%s: instants must be >= 0", key)
+		}
+		if len(out) > 0 && v < out[len(out)-1] {
+			return nil, fmt.Errorf("%s: instants must be non-decreasing", key)
+		}
+		out = append(out, v)
+	}
+	delete(kv, key)
+	return out, nil
+}
+
+func parseTime(raw string) (sim.Time, error) {
+	mult := sim.Second
+	num := raw
+	switch {
+	case strings.HasSuffix(raw, "us"):
+		mult, num = sim.Microsecond, strings.TrimSuffix(raw, "us")
+	case strings.HasSuffix(raw, "ms"):
+		mult, num = sim.Millisecond, strings.TrimSuffix(raw, "ms")
+	case strings.HasSuffix(raw, "s"):
+		num = strings.TrimSuffix(raw, "s")
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%q is not a duration", raw)
+	}
+	return sim.Time(v) * mult, nil
+}

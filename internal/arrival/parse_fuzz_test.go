@@ -1,0 +1,44 @@
+package arrival
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseArrivals drives the -arrivals spec parser with arbitrary input.
+// Any spec it accepts must canonicalize to a fixed point: String() reparses
+// to the same schedule and the same bytes, the invariant the CLI relies on
+// when echoing the spec into report preambles.
+func FuzzParseArrivals(f *testing.F) {
+	f.Add("poisson:rate=100,n=50")
+	f.Add("poisson:rate=2.5,n=1,start=250ms")
+	f.Add("burst:rate=40,n=200,peak=4,period=500ms")
+	f.Add("uniform:rate=100,n=10,start=5ms")
+	f.Add("trace:at=0/1ms/1ms/2.5ms/1s")
+	f.Add("poisson:rate=1,n=1;trace:at=5ms;burst:rate=2,n=3,peak=2,period=1s")
+	f.Add("poisson:rate=1e10,n=5")
+	f.Add("trace:at=2ms/1ms")
+	f.Add("gamma:rate=1,n=1")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		s1, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		canon := s1.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not reparse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("reparse of %q changed the schedule:\n%+v\n%+v", canon, s1, s2)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("String not a fixed point for %q: %q then %q", spec, canon, got)
+		}
+		if s1.Count() > maxCount*64 {
+			t.Fatalf("accepted spec %q expands to %d arrivals", spec, s1.Count())
+		}
+	})
+}

@@ -78,6 +78,16 @@ type FilterSpec struct {
 	SourceBuffer int
 	// Handler processes events on non-source filters.
 	Handler Handler
+	// Open marks an open-system source filter: it has no pre-declared
+	// workload — externally arriving requests enter through Runtime.Inject
+	// at run time (see internal/arrival). Open sources have no workers;
+	// like the other source flavours they only feed their output stream.
+	Open bool
+	// QueueLimit bounds an open source's send-queue depth (admission
+	// control): an Inject that would exceed it is rejected instead of
+	// queueing unboundedly, so overload degrades into load shedding with
+	// bounded memory and bounded queueing delay. 0 means unbounded.
+	QueueLimit int
 	// UseGPU runs a GPU worker on instances whose node has a GPU. Per the
 	// paper's testbed, one CPU core is then dedicated to managing the GPU
 	// and is unavailable for CPU work.
@@ -107,6 +117,7 @@ type Filter struct {
 	out       *Stream
 	in        []*Stream
 	instances []*Instance
+	injectRR  int // open-arrival round-robin position (Runtime.Inject)
 }
 
 // Name returns the filter's name.
@@ -311,8 +322,17 @@ func (rt *Runtime) AddFilter(spec FilterSpec) *Filter {
 	if spec.Handler != nil {
 		nRoles++
 	}
+	if spec.Open {
+		nRoles++
+	}
 	if nRoles != 1 {
-		panic("core: a filter needs exactly one of Seed, SourceCount/SourceMake, or Handler")
+		panic("core: a filter needs exactly one of Seed, SourceCount/SourceMake, Handler, or Open")
+	}
+	if spec.QueueLimit < 0 {
+		panic("core: QueueLimit must be >= 0")
+	}
+	if spec.QueueLimit > 0 && !spec.Open {
+		panic("core: QueueLimit is only meaningful on Open filters")
 	}
 	if spec.SourceBuffer <= 0 {
 		spec.SourceBuffer = 32
@@ -419,6 +439,9 @@ func (rt *Runtime) Run() (Result, error) {
 	// lineage tracker up front so completion cannot fire while tiles are
 	// still unread.
 	for _, f := range rt.filters {
+		if f.spec.Open && f.out == nil {
+			panic(fmt.Sprintf("core: open source filter %q has no output stream", f.Name()))
+		}
 		if f.spec.Seed == nil && f.spec.SourceCount == nil {
 			continue
 		}

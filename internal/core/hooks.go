@@ -53,6 +53,10 @@ type Bus struct {
 	// windowed faults, when the window ends). Crash faults fire from
 	// CrashInstance; windowed hardware faults fire from fault.Apply.
 	Fault func(FaultRecord)
+	// Admit fires at every open-arrival admission decision (Runtime.Inject):
+	// accepted requests as they enter an Open source's send queue, rejected
+	// ones as admission control sheds them at the queue bound.
+	Admit func(AdmitRecord)
 	// Span fires for every transfer-pipeline span of a GPU worker: one
 	// host-to-device copy, one kernel execution, or one device-to-host
 	// copy (see xfer.Span).
@@ -184,6 +188,23 @@ type FaultRecord struct {
 	Detail string
 }
 
+// AdmitRecord traces one open-arrival admission decision.
+type AdmitRecord struct {
+	// Filter and Instance identify the Open source copy that took the
+	// decision.
+	Filter   string
+	Instance int
+	// TaskID is the admitted request (0 for rejected arrivals, which never
+	// enter the system and get no identity).
+	TaskID uint64
+	At     sim.Time
+	// Depth is the send-queue depth the decision observed (pre-insertion).
+	Depth int
+	// Limit is the filter's QueueLimit (0 = unbounded).
+	Limit    int
+	Accepted bool
+}
+
 // SpanRecord traces one transfer-pipeline span (copy or kernel) of a GPU
 // worker, attributed to its filter instance and node.
 type SpanRecord struct {
@@ -207,6 +228,23 @@ func (rt *Runtime) EmitFault(r FaultRecord) {
 	if rt.Hooks.Fault != nil {
 		rt.Hooks.Fault(r)
 	}
+}
+
+// noteAdmit publishes one open-arrival admission decision.
+func (rt *Runtime) noteAdmit(f *Filter, inst int, id uint64, at sim.Time, depth, limit int, accepted bool) {
+	h := rt.Hooks.Admit
+	if h == nil {
+		return
+	}
+	h(AdmitRecord{
+		Filter:   f.Name(),
+		Instance: inst,
+		TaskID:   id,
+		At:       at,
+		Depth:    depth,
+		Limit:    limit,
+		Accepted: accepted,
+	})
 }
 
 // emitProcess fires the Process hook (and the legacy OnProcess field).

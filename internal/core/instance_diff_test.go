@@ -1,4 +1,4 @@
-package core
+package core_test
 
 // Differential tests for the stackless message-path migration. The runtime
 // keeps both flavours of every per-message helper process — the blocking
@@ -13,50 +13,27 @@ package core
 // mid-run crash (dead-producer skips, reclaim paths).
 
 import (
-	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/simtest"
 	"repro/internal/task"
 )
 
-// traceAllHooks subscribes every hook of the bus and renders each record
-// into one line, preserving the global emission order.
-func traceAllHooks(rt *Runtime) *[]string {
-	lines := &[]string{}
-	add := func(kind string, rec any) {
-		*lines = append(*lines, fmt.Sprintf("%s %+v", kind, rec))
-	}
-	rt.Hooks = Bus{
-		Process:    func(r ProcRecord) { add("process", r) },
-		Target:     func(r TargetRecord) { add("target", r) },
-		QueueDepth: func(r QueueDepthRecord) { add("depth", r) },
-		Demand:     func(r DemandRecord) { add("demand", r) },
-		Send:       func(r SendRecord) { add("send", r) },
-		Emit:       func(r EmitRecord) { add("emit", r) },
-		Deliver:    func(r DeliverRecord) { add("deliver", r) },
-		Fault:      func(r FaultRecord) { add("fault", r) },
-		Span:       func(r SpanRecord) { add("span", r) },
-	}
-	return lines
-}
-
 // runDiffPipeline executes the representative pipeline with the chosen
 // helper flavour and returns the run result plus the full hook trace.
-func runDiffPipeline(t *testing.T, blocking, serialRequester bool) (Result, []string) {
+func runDiffPipeline(t *testing.T, blocking, serialRequester bool) (core.Result, *simtest.Recorder) {
 	t.Helper()
 	k := sim.NewKernel(1)
-	c := hw.NewCluster(k, []hw.NodeSpec{
-		{CPUCores: 2},
-		{CPUCores: 2, HasGPU: true},
-	}, nil)
-	rt := New(c, nil)
-	rt.Tun = Tunables{BlockingHelpers: blocking, SerialRequester: serialRequester}
-	lines := traceAllHooks(rt)
+	c := simtest.TwoNodeCluster(k)
+	rt := core.New(c, nil)
+	rt.Tun = core.Tunables{BlockingHelpers: blocking, SerialRequester: serialRequester}
+	rec := simtest.Record(rt)
 
-	src := rt.AddFilter(FilterSpec{
+	src := rt.AddFilter(core.FilterSpec{
 		Name:        "reader",
 		Placement:   []int{0, 1},
 		SourceCount: func(int) int { return 60 },
@@ -73,10 +50,10 @@ func runDiffPipeline(t *testing.T, blocking, serialRequester bool) (Result, []st
 			}
 		},
 	})
-	mid := rt.AddFilter(FilterSpec{
+	mid := rt.AddFilter(core.FilterSpec{
 		Name: "normalize", Placement: []int{0, 1}, CPUWorkers: 1,
-		Handler: func(ctx *Ctx, tk *task.Task) Action {
-			act := Action{Forward: []*task.Task{{
+		Handler: func(ctx *core.Ctx, tk *task.Task) core.Action {
+			act := core.Action{Forward: []*task.Task{{
 				Size: 24 << 10, OutSize: 2 << 10,
 				Cost: func(kw hw.Kind) sim.Time {
 					if kw == hw.GPU {
@@ -98,29 +75,23 @@ func runDiffPipeline(t *testing.T, blocking, serialRequester bool) (Result, []st
 			return act
 		},
 	})
-	sink := rt.AddFilter(FilterSpec{
+	sink := rt.AddFilter(core.FilterSpec{
 		Name: "classify", Placement: []int{1},
 		UseGPU: true, GPUWorkers: 1, CPUWorkers: 0,
 		AsyncCopy: true, MaxConcurrentCopies: 4,
-		Handler: func(ctx *Ctx, tk *task.Task) Action { return Action{} },
+		Handler: func(ctx *core.Ctx, tk *task.Task) core.Action { return core.Action{} },
 	})
 	rt.Connect(src, mid, policy.ODDS())
 	rt.Connect(mid, sink, policy.DDWRR(4))
 
-	// Fail-stop one middle instance mid-run, exactly as fault.Apply's crash
-	// injector does (internal/fault is not importable from this package).
-	rt.K.SpawnStep("fault0/crash", func(e *sim.Env) sim.Cont {
-		return sim.After(8*sim.Millisecond, func(e *sim.Env) sim.Cont {
-			rt.CrashInstance(e, mid, 1)
-			return sim.Done()
-		})
-	})
+	// Fail-stop one middle instance mid-run via the scripted fault layer.
+	simtest.Apply(t, rt, "crash:filter=normalize,inst=1,at=8ms")
 
 	res, err := rt.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res, *lines
+	return res, rec
 }
 
 // TestStepHelpersMatchBlockingHelpers is the core differential gate of the
@@ -140,7 +111,7 @@ func TestStepHelpersMatchBlockingSerialRequester(t *testing.T) {
 	compareDiffRuns(t, resBlock, traceBlock, resStep, traceStep)
 }
 
-func compareDiffRuns(t *testing.T, resBlock Result, traceBlock []string, resStep Result, traceStep []string) {
+func compareDiffRuns(t *testing.T, resBlock core.Result, traceBlock *simtest.Recorder, resStep core.Result, traceStep *simtest.Recorder) {
 	t.Helper()
 	if resBlock != resStep {
 		t.Errorf("results differ:\n  blocking: %+v\n  step:     %+v", resBlock, resStep)
@@ -148,29 +119,11 @@ func compareDiffRuns(t *testing.T, resBlock Result, traceBlock []string, resStep
 	if resStep.Completed == 0 || resStep.Makespan == 0 {
 		t.Fatalf("degenerate run: %+v", resStep)
 	}
-	crashes, spans := 0, 0
-	for _, l := range traceStep {
-		switch {
-		case len(l) >= 5 && l[:5] == "fault":
-			crashes++
-		case len(l) >= 4 && l[:4] == "span":
-			spans++
-		}
-	}
-	if crashes == 0 {
+	if traceStep.Count("fault") == 0 {
 		t.Error("trace has no fault record: the crash did not land mid-run")
 	}
-	if spans == 0 {
+	if traceStep.Count("span") == 0 {
 		t.Error("trace has no GPU pipeline spans: the async executor was not exercised")
 	}
-	if len(traceBlock) != len(traceStep) {
-		t.Fatalf("trace lengths differ: blocking %d records, step %d records",
-			len(traceBlock), len(traceStep))
-	}
-	for i := range traceBlock {
-		if traceBlock[i] != traceStep[i] {
-			t.Fatalf("trace diverges at record %d:\n  blocking: %s\n  step:     %s",
-				i, traceBlock[i], traceStep[i])
-		}
-	}
+	simtest.DiffTraces(t, "blocking", traceBlock.Lines(), "step", traceStep.Lines())
 }

@@ -1,0 +1,82 @@
+package core
+
+// Open-system serving support: external requests entering a running
+// dataflow through an Open source filter, under admission control.
+//
+// The demand protocol already bounds every queue downstream of a source —
+// DQAA-sized requests keep the in-flight population near each consumer's
+// processing capacity — so under overload the only place work can pile up
+// without bound is the source's own send queue. Inject closes that hole:
+// an Open filter with a QueueLimit sheds arrivals once its send queue is
+// full, turning unbounded queueing (and unbounded latency) into an explicit,
+// accounted rejection the caller observes, while ODDS/DQAA keep operating
+// normally on the bounded backlog.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// ReserveArrivals pre-charges the lineage tracker with n externally
+// arriving requests before Run, the open-system analogue of a lazy source's
+// up-front total: completion cannot fire while announced arrivals are still
+// pending, even though they enter one by one at run time. Every reserved
+// arrival must later resolve through Inject — accepted requests retire
+// their lineage when processing completes, rejected ones at the admission
+// decision itself.
+func (rt *Runtime) ReserveArrivals(n int64) {
+	if rt.ran {
+		panic("core: ReserveArrivals after Run")
+	}
+	if n < 0 {
+		panic("core: negative arrival reservation")
+	}
+	if n > 0 {
+		rt.track.adjust(0, n)
+	}
+}
+
+// Inject delivers one externally arriving request at an Open source filter,
+// from a simulation process at the current virtual time. The target
+// instance rotates round-robin across the filter's live transparent copies.
+// It returns whether the request was admitted: with a QueueLimit set, an
+// arrival that finds the instance's send queue full is rejected — its
+// reserved lineage resolves immediately and the task never enters the
+// system. Every decision fires the Admit hook.
+func (rt *Runtime) Inject(e *sim.Env, f *Filter, t *task.Task) bool {
+	if !f.spec.Open {
+		panic(fmt.Sprintf("core: Inject into non-open filter %q", f.Name()))
+	}
+	if len(f.instances) == 0 {
+		panic("core: Inject before Run")
+	}
+	inst := f.instances[f.injectRR%len(f.instances)]
+	for scan := 0; inst.dead; scan++ {
+		if scan == len(f.instances) {
+			panic(fmt.Sprintf("core: open filter %q has no live instance", f.Name()))
+		}
+		f.injectRR++
+		inst = f.instances[f.injectRR%len(f.instances)]
+	}
+	f.injectRR++
+	snd := inst.out
+	depth := snd.queue.Len()
+	for _, p := range snd.parts {
+		depth += p.Len()
+	}
+	now := e.Now()
+	limit := f.spec.QueueLimit
+	if limit > 0 && depth >= limit {
+		rt.noteAdmit(f, inst.idx, 0, now, depth, limit, false)
+		// The rejected arrival's reserved lineage resolves here; without
+		// this the run would wait forever for work that never entered.
+		rt.track.adjust(now, -1)
+		return false
+	}
+	rt.prep(t, now)
+	rt.noteAdmit(f, inst.idx, t.ID, now, depth, limit, true)
+	snd.push(t)
+	return true
+}

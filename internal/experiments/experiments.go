@@ -28,6 +28,10 @@ type Config struct {
 	// intensity sweep with this scripted -faults schedule (see fault.Parse).
 	// Other experiments ignore it.
 	FaultSpec string
+	// ArrivalSpec, when non-empty, replaces the serving experiment's
+	// default open-system rate sweep with this scripted -arrivals schedule
+	// (see arrival.Parse). Other experiments ignore it.
+	ArrivalSpec string
 	// Observe additionally runs one small representative configuration of
 	// each supported experiment with the full observability layer attached
 	// (Chrome trace-event log + metrics registry + span-lineage collector)
@@ -112,6 +116,20 @@ var registry []Experiment
 
 func register(e Experiment) { registry = append(registry, e) }
 
+// extras holds experiments that run only when named explicitly with -exp:
+// they are not part of the paper-order suite, so -exp all (and the pinned
+// digest of its seed-1 report) never includes them.
+var extras []Experiment
+
+func registerExtra(e Experiment) { extras = append(extras, e) }
+
+// Extras returns the on-demand experiments in registration order.
+func Extras() []Experiment {
+	out := make([]Experiment, len(extras))
+	copy(out, extras)
+	return out
+}
+
 // All returns every experiment in paper order.
 func All() []Experiment {
 	out := make([]Experiment, len(registry))
@@ -134,9 +152,14 @@ func orderOf(id string) int {
 	return len(order)
 }
 
-// ByID finds an experiment.
+// ByID finds an experiment, in the paper suite or the extras.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range extras {
 		if e.ID == id {
 			return e, true
 		}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func servingExp(t *testing.T) []Experiment {
+	t.Helper()
+	e, ok := ByID("serving")
+	if !ok {
+		t.Fatal("serving experiment not registered")
+	}
+	return []Experiment{e}
+}
+
+// TestServingDeterminism checks the open-system extension renders
+// byte-identically on a 4-worker pool and the serial path — the arrival
+// generation, admission control, and latency-sketch pipeline are all inside
+// the per-point simulation, so (seed, point) fixes every byte. Runs under
+// -short so the race detector covers the serving path on every CI pass.
+func TestServingDeterminism(t *testing.T) {
+	exps := servingExp(t)
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := Config{Seed: seed}
+		serial := renderMany(t, cfg, exps, 1)
+		par := renderMany(t, cfg, exps, 4)
+		if serial != par {
+			t.Errorf("seed %d: parallel serving report differs from serial (%d vs %d bytes)",
+				seed, len(par), len(serial))
+		}
+	}
+}
+
+// TestServingScriptedDeterminism repeats the identity for the -arrivals
+// scripted variant (trace + poisson mix).
+func TestServingScriptedDeterminism(t *testing.T) {
+	exps := servingExp(t)
+	cfg := Config{Seed: 1,
+		ArrivalSpec: "poisson:rate=4000,n=800;burst:rate=1000,n=200,peak=4,period=50ms;trace:at=1ms/2ms/3ms"}
+	serial := renderMany(t, cfg, exps, 1)
+	par := renderMany(t, cfg, exps, 4)
+	if serial != par {
+		t.Errorf("parallel scripted serving report differs from serial (%d vs %d bytes)",
+			len(par), len(serial))
+	}
+	if !strings.Contains(serial, "Scripted arrivals") {
+		t.Error("scripted variant did not render the scripted table")
+	}
+}
+
+// TestServingReportShape pins the experiment's qualitative promises at seed
+// 1: every check passes (conservation, bounded queue, overload shedding,
+// latency growth, SLO concentration) and the overload stage breakdown is
+// present.
+func TestServingReportShape(t *testing.T) {
+	rep := servingExp(t)[0].Run(Config{Seed: 1})
+	for _, c := range rep.Checks {
+		if !c.Pass {
+			t.Errorf("check %q failed: %s", c.Name, c.Detail)
+		}
+	}
+	if !strings.Contains(rep.Body, "Stage breakdown of the worst SLO violator") {
+		t.Error("report has no SLO-violator stage breakdown")
+	}
+	if len(rep.Series) == 0 || len(rep.Series[0].Y) == 0 {
+		t.Error("report carries no p99 series")
+	}
+}
+
+// TestServingNotInAll: the serving experiment is an extra — the paper-order
+// suite (and its pinned digest) must not include it.
+func TestServingNotInAll(t *testing.T) {
+	for _, e := range All() {
+		if e.ID == "serving" {
+			t.Fatal("serving registered in the paper-order suite; it must stay an extra")
+		}
+	}
+	if _, ok := ByID("serving"); !ok {
+		t.Fatal("serving not reachable through ByID")
+	}
+}
+
+// TestServingBadSpec: a rejected -arrivals spec produces a failing check,
+// not a panic.
+func TestServingBadSpec(t *testing.T) {
+	rep := servingExp(t)[0].Run(Config{Seed: 1, ArrivalSpec: "poisson:rate=0,n=1"})
+	if rep.Passed() {
+		t.Fatal("bad arrival spec did not fail the parse check")
+	}
+}

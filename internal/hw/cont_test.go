@@ -1,4 +1,4 @@
-package hw
+package hw_test
 
 // Equivalence tests for the continuation forms of the hardware models:
 // SendThen and CopyThen must arbitrate and account exactly like Send and
@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/hw"
 	"repro/internal/sim"
+	"repro/internal/simtest"
 )
 
 // netCompletionTimes runs n concurrent bulk sends from node 0 to node 1,
@@ -19,8 +21,7 @@ import (
 func netCompletionTimes(t *testing.T, n int, sizes []int64, stepMask uint) []sim.Time {
 	t.Helper()
 	k := sim.NewKernel(1)
-	c := NewCluster(k, []NodeSpec{CPUOnlyNode(), CPUOnlyNode()},
-		&NetworkConfig{BandwidthBps: 1e8, Latency: 100 * sim.Microsecond})
+	c := simtest.ContendedPair(k)
 	c.Net.Degrade(1, 50*sim.Microsecond, 1) // receiver-side latency penalty on every send
 	done := make([]sim.Time, n)
 	for i := 0; i < n; i++ {
@@ -55,12 +56,7 @@ func TestSendThenMatchesSendUnderContention(t *testing.T) {
 	ref := netCompletionTimes(t, 4, sizes, 0b0000)
 	for _, mask := range []uint{0b1111, 0b0101, 0b1010} {
 		got := netCompletionTimes(t, 4, sizes, mask)
-		for i := range ref {
-			if got[i] != ref[i] {
-				t.Errorf("mask %04b: sender %d finished at %v, blocking reference %v",
-					mask, i, got[i], ref[i])
-			}
-		}
+		simtest.SameTimes(t, fmt.Sprintf("mask %04b", mask), got, ref)
 	}
 }
 
@@ -69,7 +65,7 @@ func TestSendThenMatchesSendUnderContention(t *testing.T) {
 func linkCompletionTimes(t *testing.T, n int, stepMask uint) (times []sim.Time, busy sim.Time, traffic int64) {
 	t.Helper()
 	k := sim.NewKernel(1)
-	l := NewLink(k, LinkConfig{BandwidthBps: 1e9, Latency: 5 * sim.Microsecond, Congestion: 0.10})
+	l := hw.NewLink(k, hw.LinkConfig{BandwidthBps: 1e9, Latency: 5 * sim.Microsecond, Congestion: 0.10})
 	l.Degrade(2*sim.Microsecond, 0.5)
 	done := make([]sim.Time, n)
 	for i := 0; i < n; i++ {
@@ -77,14 +73,14 @@ func linkCompletionTimes(t *testing.T, n int, stepMask uint) (times []sim.Time, 
 		size := int64((i + 1) * 100_000)
 		if stepMask&(1<<uint(i)) != 0 {
 			k.SpawnStep(fmt.Sprintf("c%d", i), func(e *sim.Env) sim.Cont {
-				return l.CopyThen(e, size, HostToDevice, func(e *sim.Env) sim.Cont {
+				return l.CopyThen(e, size, hw.HostToDevice, func(e *sim.Env) sim.Cont {
 					done[i] = e.Now()
 					return sim.Done()
 				})
 			})
 		} else {
 			k.Spawn(fmt.Sprintf("c%d", i), func(e *sim.Env) {
-				l.Copy(e, size, HostToDevice)
+				l.Copy(e, size, hw.HostToDevice)
 				done[i] = e.Now()
 			})
 		}
@@ -92,7 +88,7 @@ func linkCompletionTimes(t *testing.T, n int, stepMask uint) (times []sim.Time, 
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	return done, l.Busy(), l.Traffic(HostToDevice)
+	return done, l.Busy(), l.Traffic(hw.HostToDevice)
 }
 
 // TestCopyThenMatchesCopyUnderCongestion checks that the congestion model —
@@ -102,12 +98,7 @@ func TestCopyThenMatchesCopyUnderCongestion(t *testing.T) {
 	refTimes, refBusy, refTraffic := linkCompletionTimes(t, 4, 0b0000)
 	for _, mask := range []uint{0b1111, 0b0110, 0b1001} {
 		times, busy, traffic := linkCompletionTimes(t, 4, mask)
-		for i := range refTimes {
-			if times[i] != refTimes[i] {
-				t.Errorf("mask %04b: copy %d finished at %v, blocking reference %v",
-					mask, i, times[i], refTimes[i])
-			}
-		}
+		simtest.SameTimes(t, fmt.Sprintf("mask %04b", mask), times, refTimes)
 		if busy != refBusy || traffic != refTraffic {
 			t.Errorf("mask %04b: busy/traffic = %v/%d, blocking reference %v/%d",
 				mask, busy, traffic, refBusy, refTraffic)
@@ -119,7 +110,7 @@ func TestCopyThenMatchesCopyUnderCongestion(t *testing.T) {
 // no NIC occupancy.
 func TestSendThenLocalDelivery(t *testing.T) {
 	k := sim.NewKernel(1)
-	c := NewCluster(k, []NodeSpec{PaperNode()}, nil)
+	c := hw.NewCluster(k, []hw.NodeSpec{hw.PaperNode()}, nil)
 	var blockDone, stepDone sim.Time
 	k.Spawn("b", func(e *sim.Env) {
 		c.Net.Send(e, c.Nodes[0], c.Nodes[0], 1<<20)

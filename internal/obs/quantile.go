@@ -1,0 +1,219 @@
+package obs
+
+// A deterministic quantile sketch for per-request latency percentiles
+// (p50/p99/p999) in the open-system serving mode. The structure is a
+// Greenwald-Khanna summary: a sorted list of (value, g, delta) tuples whose
+// rank uncertainty is bounded by eps*n, compressed every 1/(2*eps)
+// insertions. Everything is integer-rank arithmetic over the inserted
+// values — no randomness, no hashing — so the same insertion sequence
+// yields the identical summary (and identical rendered percentiles) on
+// every host and worker count.
+//
+// Below the first compression threshold (n <= 1/(2*eps)) the summary holds
+// every sample with g=1, delta=0, and Quantile is exactly the nearest-rank
+// percentile — the property the equivalence tests pin against
+// ExactQuantile.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultEps is the rank-error bound serving experiments use: exact
+// percentiles up to 1000 samples, rank error <= 2*eps*n beyond.
+const DefaultEps = 0.0005
+
+// gkEntry is one summary tuple: v covers g ranks, with delta of rank slack.
+type gkEntry struct {
+	v        float64
+	g, delta int64
+}
+
+// Sketch is a Greenwald-Khanna quantile summary.
+type Sketch struct {
+	eps           float64
+	n             int64
+	entries       []gkEntry
+	sinceCompress int
+}
+
+// NewSketch creates a sketch with the given rank-error bound (0 < eps < 0.5).
+func NewSketch(eps float64) *Sketch {
+	if !(eps > 0 && eps < 0.5) {
+		panic(fmt.Sprintf("obs: sketch eps must be in (0, 0.5), got %g", eps))
+	}
+	return &Sketch{eps: eps}
+}
+
+// Count returns the number of inserted values.
+func (s *Sketch) Count() int64 { return s.n }
+
+// Eps returns the sketch's rank-error bound.
+func (s *Sketch) Eps() float64 { return s.eps }
+
+// compressEvery is the insertion period between compressions.
+func (s *Sketch) compressEvery() int {
+	e := int(1 / (2 * s.eps))
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// Add inserts one finite value.
+func (s *Sketch) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic("obs: sketch values must be finite")
+	}
+	// Insert after every entry <= v so equal values stay in arrival order.
+	pos := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].v > v })
+	var delta int64
+	if pos != 0 && pos != len(s.entries) {
+		delta = int64(2 * s.eps * float64(s.n))
+	}
+	s.entries = append(s.entries, gkEntry{})
+	copy(s.entries[pos+1:], s.entries[pos:])
+	s.entries[pos] = gkEntry{v: v, g: 1, delta: delta}
+	s.n++
+	s.sinceCompress++
+	if s.sinceCompress >= s.compressEvery() {
+		s.compress()
+		s.sinceCompress = 0
+	}
+}
+
+// compress merges adjacent tuples whose combined rank coverage stays within
+// the error budget, right to left, never touching the min or max entry.
+func (s *Sketch) compress() {
+	if len(s.entries) < 3 {
+		return
+	}
+	limit := int64(2 * s.eps * float64(s.n))
+	out := s.entries
+	for i := len(out) - 2; i >= 1; i-- {
+		if out[i].g+out[i+1].g+out[i+1].delta <= limit {
+			out[i+1].g += out[i].g
+			out = append(out[:i], out[i+1:]...)
+		}
+	}
+	s.entries = out
+}
+
+// Quantile returns the value at the nearest-rank quantile q in [0, 1],
+// within the sketch's rank-error bound (exact below the first compression).
+// An empty sketch returns 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	r := int64(math.Ceil(q * float64(s.n)))
+	if r < 1 {
+		r = 1
+	}
+	var rmin int64
+	for i := range s.entries {
+		rmin += s.entries[i].g
+		if rmin+s.entries[i].delta >= r {
+			return s.entries[i].v
+		}
+	}
+	return s.entries[len(s.entries)-1].v
+}
+
+// ExactQuantile is the nearest-rank percentile computed from the full
+// sample — the reference the sketch's small-count equivalence tests compare
+// against. The input is not modified. An empty input returns 0.
+func ExactQuantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	r := int(math.Ceil(q * float64(len(sorted))))
+	if r < 1 {
+		r = 1
+	}
+	if r > len(sorted) {
+		r = len(sorted)
+	}
+	return sorted[r-1]
+}
+
+// sketchJSON is the sketch's stable serialized form. Each entry is a
+// [value, g, delta] triple; g and delta are integers stored as JSON numbers
+// (exact below 2^53, far beyond any plausible count).
+type sketchJSON struct {
+	Eps     float64      `json:"eps"`
+	N       int64        `json:"n"`
+	Entries [][3]float64 `json:"entries"`
+}
+
+// Encode renders the sketch as canonical JSON: same summary, same bytes.
+func (s *Sketch) Encode() []byte {
+	doc := sketchJSON{Eps: s.eps, N: s.n, Entries: make([][3]float64, len(s.entries))}
+	for i, e := range s.entries {
+		doc.Entries[i] = [3]float64{e.v, float64(e.g), float64(e.delta)}
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		panic(fmt.Sprintf("obs: sketch encode: %v", err)) // no unencodable values by construction
+	}
+	return out
+}
+
+// DecodeSketch parses and validates a serialized sketch. Every structural
+// invariant of the summary is checked — the decoder accepts exactly the
+// states Add/compress can produce — so malformed or adversarial input
+// returns an error, never a sketch that later misbehaves.
+func DecodeSketch(data []byte) (*Sketch, error) {
+	var doc sketchJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: sketch decode: %w", err)
+	}
+	if !(doc.Eps > 0 && doc.Eps < 0.5) {
+		return nil, fmt.Errorf("obs: sketch decode: eps %g out of (0, 0.5)", doc.Eps)
+	}
+	if doc.N < 0 {
+		return nil, fmt.Errorf("obs: sketch decode: negative count %d", doc.N)
+	}
+	if (doc.N == 0) != (len(doc.Entries) == 0) {
+		return nil, fmt.Errorf("obs: sketch decode: count %d with %d entries", doc.N, len(doc.Entries))
+	}
+	s := &Sketch{eps: doc.Eps, n: doc.N, entries: make([]gkEntry, len(doc.Entries))}
+	budget := int64(2*doc.Eps*float64(doc.N)) + 1
+	var sumG int64
+	for i, e := range doc.Entries {
+		v, g, delta := e[0], e[1], e[2]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("obs: sketch decode: entry %d value not finite", i)
+		}
+		if g != math.Trunc(g) || delta != math.Trunc(delta) || g < 1 || delta < 0 ||
+			g > 1<<53 || delta > 1<<53 {
+			return nil, fmt.Errorf("obs: sketch decode: entry %d has invalid ranks (g=%v, delta=%v)", i, g, delta)
+		}
+		if i > 0 && v < s.entries[i-1].v {
+			return nil, fmt.Errorf("obs: sketch decode: entry %d out of order", i)
+		}
+		if (i == 0 || i == len(doc.Entries)-1) && delta != 0 {
+			return nil, fmt.Errorf("obs: sketch decode: extreme entry %d has nonzero delta", i)
+		}
+		if int64(g)+int64(delta) > budget {
+			return nil, fmt.Errorf("obs: sketch decode: entry %d exceeds the rank budget (g+delta=%v > %d)",
+				i, g+delta, budget)
+		}
+		s.entries[i] = gkEntry{v: v, g: int64(g), delta: int64(delta)}
+		sumG += int64(g)
+	}
+	if sumG != doc.N {
+		return nil, fmt.Errorf("obs: sketch decode: ranks cover %d of %d values", sumG, doc.N)
+	}
+	return s, nil
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzSketchDecode drives the strict sketch decoder with arbitrary bytes.
+// Anything it accepts must re-encode to a canonical fixed point and answer
+// quantile queries sanely (monotone in q, within the value range, no
+// panics) — the decoder is the trust boundary for sketch artifacts loaded
+// from disk.
+func FuzzSketchDecode(f *testing.F) {
+	f.Add([]byte(`{"eps":0.0005,"n":0,"entries":[]}`))
+	f.Add([]byte(`{"eps":0.0005,"n":3,"entries":[[0.1,1,0],[0.2,1,0],[0.3,1,0]]}`))
+	f.Add([]byte(`{"eps":0.25,"n":6,"entries":[[1,1,0],[2,3,0],[9,2,0]]}`))
+	f.Add([]byte(`{"eps":2,"n":0,"entries":[]}`))
+	f.Add([]byte(`{"eps":0.1,"n":2,"entries":[[2,1,0],[1,1,0]]}`))
+	f.Add([]byte(`not a sketch`))
+	s := NewSketch(0.01)
+	for i := 0; i < 3000; i++ {
+		s.Add(float64(i%97) / 7)
+	}
+	f.Add(s.Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSketch(data)
+		if err != nil {
+			return
+		}
+		enc := s.Encode()
+		s2, err := DecodeSketch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted sketch failed: %v\nencoding: %s", err, enc)
+		}
+		if !bytes.Equal(enc, s2.Encode()) {
+			t.Fatalf("encoding is not a fixed point:\n%s\n%s", enc, s2.Encode())
+		}
+		last := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			v := s.Quantile(q)
+			if s.Count() > 0 && (math.IsNaN(v) || v < last) {
+				t.Fatalf("quantiles not monotone: q=%g gave %v after %v", q, v, last)
+			}
+			last = v
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+var quantileGrid = []float64{0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+
+// TestSketchExactSmallCounts pins the serving-mode promise: below the first
+// compression threshold (n <= 1/(2*eps)) the sketch's percentiles equal the
+// exact nearest-rank percentiles, bit for bit.
+func TestSketchExactSmallCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 10, 137, 999} {
+		s := NewSketch(DefaultEps)
+		vals := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := rng.Float64() * 100
+			if i%7 == 0 && i > 0 {
+				v = vals[i-1] // duplicates must not break rank accounting
+			}
+			vals = append(vals, v)
+			s.Add(v)
+		}
+		for _, q := range quantileGrid {
+			got, want := s.Quantile(q), ExactQuantile(vals, q)
+			if got != want {
+				t.Errorf("n=%d q=%g: sketch %v, exact %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+// TestSketchRankErrorLargeCounts checks the GK error bound after many
+// compressions: inserting a shuffled permutation of 0..n-1 makes every
+// value's true rank self-evident, so the returned quantile's rank error is
+// directly measurable.
+func TestSketchRankErrorLargeCounts(t *testing.T) {
+	const n = 20000
+	const eps = 0.005
+	vals := rand.New(rand.NewSource(7)).Perm(n)
+	s := NewSketch(eps)
+	for _, v := range vals {
+		s.Add(float64(v))
+	}
+	for _, q := range quantileGrid {
+		got := s.Quantile(q)
+		rank := got + 1 // value v has exact rank v+1 in 0..n-1
+		want := math.Ceil(q * n)
+		if want < 1 {
+			want = 1
+		}
+		if math.Abs(rank-want) > 2*eps*n+1 {
+			t.Errorf("q=%g: returned rank %v, want %v +/- %v", q, rank, want, 2*eps*n+1)
+		}
+	}
+}
+
+// TestSketchDeterminismAndRoundTrip: the same insertion sequence encodes to
+// identical bytes, and decode(encode(s)) preserves both the bytes and every
+// quantile.
+func TestSketchDeterminismAndRoundTrip(t *testing.T) {
+	build := func() *Sketch {
+		s := NewSketch(0.01)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 5000; i++ {
+			s.Add(math.Floor(rng.Float64() * 1000))
+		}
+		return s
+	}
+	a, b := build(), build()
+	ea, eb := a.Encode(), b.Encode()
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("same insertion sequence produced different encodings")
+	}
+	dec, err := DecodeSketch(ea)
+	if err != nil {
+		t.Fatalf("decode of own encoding failed: %v", err)
+	}
+	if !bytes.Equal(dec.Encode(), ea) {
+		t.Fatal("decode(encode(s)) re-encodes differently")
+	}
+	for _, q := range quantileGrid {
+		if dec.Quantile(q) != a.Quantile(q) {
+			t.Errorf("q=%g: decoded sketch disagrees with original", q)
+		}
+	}
+	if dec.Count() != a.Count() || dec.Eps() != a.Eps() {
+		t.Error("decoded sketch lost count or eps")
+	}
+}
+
+// TestSketchDecodeRejects exercises the decoder's structural validation.
+func TestSketchDecodeRejects(t *testing.T) {
+	bad := map[string]string{
+		"not json":        `{"eps":`,
+		"eps zero":        `{"eps":0,"n":0,"entries":[]}`,
+		"eps too large":   `{"eps":0.5,"n":0,"entries":[]}`,
+		"negative count":  `{"eps":0.1,"n":-1,"entries":[]}`,
+		"count mismatch":  `{"eps":0.1,"n":2,"entries":[[1,1,0]]}`,
+		"empty with n":    `{"eps":0.1,"n":1,"entries":[]}`,
+		"g zero":          `{"eps":0.1,"n":1,"entries":[[1,0,0]]}`,
+		"fractional g":    `{"eps":0.1,"n":1,"entries":[[1,1.5,0]]}`,
+		"negative delta":  `{"eps":0.1,"n":1,"entries":[[1,1,-1]]}`,
+		"unsorted values": `{"eps":0.1,"n":2,"entries":[[2,1,0],[1,1,0]]}`,
+		"inf value":       `{"eps":0.1,"n":1,"entries":[[1e999,1,0]]}`,
+		"extreme delta":   `{"eps":0.1,"n":3,"entries":[[1,1,1],[2,1,0],[3,1,0]]}`,
+		"budget blown":    `{"eps":0.001,"n":3,"entries":[[1,1,0],[2,1,5],[3,1,0]]}`,
+	}
+	for name, doc := range bad {
+		if _, err := DecodeSketch([]byte(doc)); err == nil {
+			t.Errorf("%s: decoder accepted %s", name, doc)
+		}
+	}
+	if _, err := DecodeSketch([]byte(`{"eps":0.1,"n":0,"entries":[]}`)); err != nil {
+		t.Errorf("decoder rejected the canonical empty sketch: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// TestVirtualClockPacing runs a pacing loop against the virtual clock: each
+// Sleep must land the process exactly at the requested instant, with no
+// wall-clock involvement.
+func TestVirtualClockPacing(t *testing.T) {
+	k := NewKernel(1)
+	deadlines := []Time{0, 250 * Microsecond, Millisecond, Millisecond, 5 * Millisecond}
+	var seen []Time
+	k.Spawn("pacer", func(e *Env) {
+		c := VirtualClock{E: e}
+		for _, at := range deadlines {
+			c.Sleep(at - c.Now())
+			seen = append(seen, c.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(deadlines) {
+		t.Fatalf("pacer fired %d times, want %d", len(seen), len(deadlines))
+	}
+	for i, at := range deadlines {
+		if seen[i] != at {
+			t.Errorf("firing %d at %v, want %v", i, seen[i], at)
+		}
+	}
+}
+
+// TestManualClockPacing drives the same loop shape against the hand-advanced
+// clock: deadlines in the past fire immediately, future ones advance the
+// hand exactly.
+func TestManualClockPacing(t *testing.T) {
+	c := &ManualClock{}
+	c.Sleep(3 * Millisecond)
+	if c.Now() != 3*Millisecond {
+		t.Fatalf("manual clock at %v after Sleep(3ms)", c.Now())
+	}
+	c.Sleep(-Millisecond)
+	c.Sleep(0)
+	if c.Now() != 3*Millisecond {
+		t.Fatalf("non-positive Sleep moved the clock to %v", c.Now())
+	}
+}
+
+// TestWallClockMonotone smoke-tests the real-time implementation without
+// actually sleeping long: Now starts near zero and never goes backwards.
+func TestWallClockMonotone(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	if a < 0 {
+		t.Fatalf("wall clock started negative: %v", a)
+	}
+	c.Sleep(Millisecond)
+	b := c.Now()
+	if b < a+Millisecond {
+		t.Fatalf("wall clock did not advance across Sleep: %v -> %v", a, b)
+	}
+}

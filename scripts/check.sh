@@ -25,11 +25,13 @@ go test -race -run '^TestDiff|^TestProperty' -count=1 -timeout 10m ./internal/si
 echo "== go test ./...  (tier-1 suite + full-report determinism, seeds 1-${ANTHILL_DETERMINISM_SEEDS:-3})"
 ANTHILL_DETERMINISM_SEEDS="${ANTHILL_DETERMINISM_SEEDS:-3}" go test -timeout 40m ./...
 
-echo "== fuzz smoke  (-faults parser, estimator profile decoder, explain JSON decoder, kernel scenarios)"
+echo "== fuzz smoke  (-faults parser, estimator profile decoder, explain JSON decoder, kernel scenarios, -arrivals parser, quantile-sketch decoder)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/fault
 go test -run '^$' -fuzz '^FuzzLoadProfile$' -fuzztime 10s ./internal/estimator
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime 10s ./internal/span
 go test -run '^$' -fuzz '^FuzzKernelScenario$' -fuzztime 15s ./internal/sim
+go test -run '^$' -fuzz '^FuzzParseArrivals$' -fuzztime 10s ./internal/arrival
+go test -run '^$' -fuzz '^FuzzSketchDecode$' -fuzztime 10s ./internal/obs
 
 echo "== message-path alloc gates  (blocking + step flavours, without -race)"
 go test -run '^TestMessagePath|^TestSpawnPooling|^TestEventLoop|^TestZero' -count=1 -timeout 5m ./internal/sim
@@ -40,6 +42,19 @@ go test -run '^TestSendThen|^TestCopyThen' -count=1 -timeout 5m ./internal/hw
 
 echo "== chaos determinism  (serial vs 4-worker fault-injection sweeps, seeds 1-3)"
 go test -run '^TestChaosDeterminism$' -timeout 20m ./internal/experiments
+
+echo "== serving determinism  (serial vs 4-worker open-system sweeps, seeds 1-3)"
+go test -race -run '^TestServing' -timeout 20m ./internal/experiments
+servingspec='poisson:rate=4000,n=600;burst:rate=1000,n=200,peak=4,period=50ms'
+servingdir=$(mktemp -d)
+for seed in 1 2 3; do
+    go run ./cmd/anthill-sim -exp serving -seed "$seed" -parallel=false \
+        -arrivals "$servingspec" -o "$servingdir/a.md"
+    go run ./cmd/anthill-sim -exp serving -seed "$seed" -parallel -workers 4 \
+        -arrivals "$servingspec" -o "$servingdir/b.md"
+    cmp "$servingdir/a.md" "$servingdir/b.md"
+done
+rm -rf "$servingdir"
 
 echo "== trace determinism  (same-seed -trace/-metrics-out captures must be byte-identical)"
 tracedir=$(mktemp -d)
