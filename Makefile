@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism serving-determinism byte-identity check verify
+.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism serving-determinism policylab-determinism byte-identity check verify
 
 all: build
 
@@ -82,6 +82,22 @@ serving-determinism:
 	done; \
 	echo "serving-determinism: byte-identical (seeds 1-3)"
 
+# The policy-lab matrix (six policies x three cluster shapes, with stateful
+# rival schedulers) must be byte-identical serial vs 4-worker: the
+# in-process sweep across seeds 1-3 (under the race detector), plus one
+# CLI-level comparison per seed.
+policylab-determinism:
+	$(GO) test -race -run '^TestPolicylab' -timeout 20m ./internal/experiments
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	for seed in 1 2 3; do \
+	  $(GO) run ./cmd/anthill-sim -exp policylab -seed $$seed -parallel=false \
+	      -o "$$dir/a.md"; \
+	  $(GO) run ./cmd/anthill-sim -exp policylab -seed $$seed -parallel -workers 4 \
+	      -o "$$dir/b.md"; \
+	  cmp "$$dir/a.md" "$$dir/b.md" || exit 1; \
+	done; \
+	echo "policylab-determinism: byte-identical (seeds 1-3)"
+
 # The full seed-1 report must match the checked-in digest byte-for-byte
 # (scripts/exp_all_seed1.sha256). Regenerate the digest only for intentional
 # model changes; a mismatch after a refactor means determinism broke.
@@ -95,9 +111,9 @@ byte-identity:
 
 # Mid-weight verification: vet + tier-1 tests + fuzz smoke + the chaos
 # fault-injection determinism check (serial vs 4 workers, seeds 1-3) + the
-# trace/metrics, explain-artifact, serving and full-report byte-identity
-# gates.
-verify: vet test fuzz-smoke trace-determinism explain-determinism serving-determinism byte-identity
+# trace/metrics, explain-artifact, serving, policy-lab and full-report
+# byte-identity gates.
+verify: vet test fuzz-smoke trace-determinism explain-determinism serving-determinism policylab-determinism byte-identity
 	$(GO) test -run '^TestChaosDeterminism$$' -timeout 20m ./internal/experiments
 
 # Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,

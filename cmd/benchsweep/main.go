@@ -114,13 +114,13 @@ func timedRunAll(cfg experiments.Config, workers int) (runResult, string) {
 	}, buf.String()
 }
 
-// timedServing regenerates the open-system serving report (an extra, so
-// RunAll never covers it) on the given pool size and times it, as the
-// serving workload row of the summary.
-func timedServing(cfg experiments.Config, workers int) runResult {
-	e, ok := experiments.ByID("serving")
+// timedExtra regenerates one on-demand experiment (an extra, so RunAll
+// never covers it) on the given pool size and times it, as a workload row
+// of the summary. Used for the serving and policylab extras.
+func timedExtra(id string, cfg experiments.Config, workers int) runResult {
+	e, ok := experiments.ByID(id)
 	if !ok {
-		fmt.Fprintln(os.Stderr, "benchsweep: serving experiment not registered")
+		fmt.Fprintf(os.Stderr, "benchsweep: %s experiment not registered\n", id)
 		os.Exit(1)
 	}
 	experiments.SetWorkers(workers)
@@ -130,12 +130,12 @@ func timedServing(cfg experiments.Config, workers int) runResult {
 	rep := e.Run(cfg)
 	wall := time.Since(start).Seconds()
 	if !rep.Passed() {
-		fmt.Fprintln(os.Stderr, "benchsweep: serving shape checks failed")
+		fmt.Fprintf(os.Stderr, "benchsweep: %s shape checks failed\n", id)
 		os.Exit(1)
 	}
 	points := experiments.PointCount()
 	return runResult{
-		Mode: "serving", Workers: workers, WallSeconds: wall,
+		Mode: id, Workers: workers, WallSeconds: wall,
 		Points: points, PointsPerSec: float64(points) / wall,
 	}
 }
@@ -427,9 +427,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchsweep: parallel+explain %.1fs, %d points (%.1f points/s)\n",
 		parExplain.WallSeconds, parExplain.Points, parExplain.PointsPerSec)
 	fmt.Fprintf(os.Stderr, "benchsweep: serving run (open-system extra, %d workers)...\n", parWorkers)
-	serving := timedServing(cfg, parWorkers)
+	serving := timedExtra("serving", cfg, parWorkers)
 	fmt.Fprintf(os.Stderr, "benchsweep: serving %.1fs, %d points (%.1f points/s)\n",
 		serving.WallSeconds, serving.Points, serving.PointsPerSec)
+	fmt.Fprintf(os.Stderr, "benchsweep: policylab run (rival-scheduler extra, %d workers)...\n", parWorkers)
+	policylab := timedExtra("policylab", cfg, parWorkers)
+	fmt.Fprintf(os.Stderr, "benchsweep: policylab %.1fs, %d points (%.1f points/s)\n",
+		policylab.WallSeconds, policylab.Points, policylab.PointsPerSec)
 
 	effective := parWorkers
 	if mp := runtime.GOMAXPROCS(0); mp < effective {
@@ -443,7 +447,7 @@ func main() {
 		GOMAXPROCS:              runtime.GOMAXPROCS(0),
 		Seed:                    *seed,
 		FullScale:               *full,
-		Runs:                    []runResult{serial, par, parExplain, serving},
+		Runs:                    []runResult{serial, par, parExplain, serving, policylab},
 		Speedup:                 serial.WallSeconds / par.WallSeconds,
 		EffectiveParallelism:    effective,
 		ParallelComparisonValid: effective > 1,

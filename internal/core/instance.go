@@ -74,6 +74,16 @@ func (s *sender) push(t *task.Task) {
 	s.noteDepth(-1)
 }
 
+// queuedLen is the sender's total queued depth across partitions, the
+// Queued field of scheduler PeerViews.
+func (s *sender) queuedLen() int {
+	n := s.queue.Len()
+	for _, p := range s.parts {
+		n += p.Len()
+	}
+	return n
+}
+
 // refill tops the send queue up to the generator's watermark of fresh
 // buffers, so lazily produced buffers interleave with resubmitted ones
 // under demand.
@@ -100,7 +110,15 @@ func (s *sender) popFor(req *request) *task.Task {
 		pi = req.fromInst % len(s.parts)
 		q = s.parts[pi]
 	}
-	t := q.PopFor(req.kind)
+	var t *task.Task
+	if sch := s.inst.f.out.pol.Sched; sch != nil {
+		// Pluggable scheduler: rank the queue by the consumer-specific
+		// score instead of the ordering's per-kind selection.
+		c := policy.Consumer{Kind: req.kind, Node: req.from.ID, Instance: req.fromInst}
+		t = q.PopRanked(func(t *task.Task) float64 { return sch.Score(t, c) })
+	} else {
+		t = q.PopFor(req.kind)
+	}
 	if t != nil {
 		if s.gen != nil {
 			delete(s.gen.fresh, t.ID)
@@ -213,6 +231,15 @@ func (s *sender) runPush(e *sim.Env) {
 		}
 	}
 	rr := s.inst.idx % len(consumers)
+	// A scheduler that implements DestPicker steers the push rotation.
+	var dp policy.DestPicker
+	if sch := stream.pol.Sched; sch != nil {
+		dp, _ = sch.(policy.DestPicker)
+	}
+	pushView := func(i int) policy.PeerView {
+		ci := consumers[i]
+		return policy.PeerView{Node: ci.node.ID, Dead: ci.dead, Queued: ci.inputs[qi].queue.Len()}
+	}
 	backoff := minBackoff
 	for !rt.track.done.Fired() && !s.inst.dead {
 		s.refill(e.Now())
@@ -231,6 +258,11 @@ func (s *sender) runPush(e *sim.Env) {
 			continue
 		}
 		backoff = minBackoff
+		if dp != nil {
+			if i := dp.PickDest(t, len(consumers), pushView, rr); i >= 0 {
+				rr = i
+			}
+		}
 		// Skip crashed consumers in the rotation; fault.Apply guarantees at
 		// least one transparent copy survives.
 		dst := consumers[rr%len(consumers)]
@@ -529,7 +561,7 @@ func (w *worker) tryPop() (*task.Task, *reqState, int) {
 	n := len(inst.inputs)
 	for i := 0; i < n; i++ {
 		qi := (inst.rrQueue + i) % n
-		if t := inst.inputs[qi].queue.PopFor(w.kind); t != nil {
+		if t := w.popInput(qi); t != nil {
 			inst.rrQueue = (qi + 1) % n
 			inst.noteInputDepth(qi)
 			if fs, ok := inst.fetcher[t.ID]; ok {
@@ -541,6 +573,44 @@ func (w *worker) tryPop() (*task.Task, *reqState, int) {
 		}
 	}
 	return nil, nil, -1
+}
+
+// consumer is the worker's identity for pluggable-scheduler decisions.
+func (w *worker) consumer() policy.Consumer {
+	return policy.Consumer{Kind: w.kind, Node: w.inst.node.ID, Instance: w.inst.idx}
+}
+
+// popInput pops the best event for the worker from input queue qi — via
+// the stream's pluggable scheduler when one is installed, via the
+// ordering's per-kind selection otherwise. Scheduler pops are reported to
+// PopObserver implementations (the moment a device commits to a buffer).
+func (w *worker) popInput(qi int) *task.Task {
+	in := w.inst.inputs[qi]
+	sch := in.s.pol.Sched
+	if sch == nil {
+		return in.queue.PopFor(w.kind)
+	}
+	c := w.consumer()
+	t := in.queue.PopRanked(func(t *task.Task) float64 { return sch.Score(t, c) })
+	if t != nil {
+		if o, ok := sch.(policy.PopObserver); ok {
+			o.ObservePop(c, t)
+		}
+	}
+	return t
+}
+
+// noteService reports a completed buffer's service time to the stream's
+// scheduler, if it learns from observed work (ServiceObserver).
+func (w *worker) noteService(qi int, t *task.Task, dur sim.Time) {
+	if qi < 0 {
+		return
+	}
+	if sch := w.inst.inputs[qi].s.pol.Sched; sch != nil {
+		if o, ok := sch.(policy.ServiceObserver); ok {
+			o.ObserveService(w.consumer(), t, dur)
+		}
+	}
 }
 
 // pop blocks until an event is available or the job completes (nil).
@@ -576,10 +646,16 @@ func (w *worker) tryPopAtLeast(minKey float64) (*task.Task, *reqState, int) {
 	for i := 0; i < n; i++ {
 		qi := (inst.rrQueue + i) % n
 		q := inst.inputs[qi].queue
-		if key, ok := q.PeekKeyFor(w.kind); !ok || key < minKey {
+		if sch := inst.inputs[qi].s.pol.Sched; sch != nil {
+			c := w.consumer()
+			sc, ok := q.PeekRanked(func(t *task.Task) float64 { return sch.Score(t, c) })
+			if !ok || sc < minKey {
+				continue
+			}
+		} else if key, ok := q.PeekKeyFor(w.kind); !ok || key < minKey {
 			continue
 		}
-		if t := q.PopFor(w.kind); t != nil {
+		if t := w.popInput(qi); t != nil {
 			inst.rrQueue = (qi + 1) % n
 			inst.noteInputDepth(qi)
 			if fs, ok := inst.fetcher[t.ID]; ok {
@@ -605,6 +681,11 @@ func (w *worker) popBatch(e *sim.Env, n int) ([]*task.Task, []*reqState, []int) 
 	qis := []int{qi}
 	ratio := w.inst.rt.tun.BatchAffinityRatio
 	minKey := t.Key[w.kind] * ratio
+	if sch := w.inst.inputs[qi].s.pol.Sched; sch != nil {
+		// Scheduler streams gate batch filler on the scheduler's own
+		// score scale, so partition bonuses and the like carry over.
+		minKey = sch.Score(t, w.consumer()) * ratio
+	}
 	if ratio < 0 {
 		minKey = -1 // any key qualifies: greedy draining (ablation)
 	}
@@ -643,6 +724,7 @@ func (w *worker) run(e *sim.Env) {
 			perEvent := dur / sim.Time(len(batch))
 			for i, t := range batch {
 				w.afterProcess(e, states[i], perEvent)
+				w.noteService(qis[i], t, perEvent)
 				w.finish(e, t, start)
 			}
 			if dur > 0 {
@@ -667,7 +749,9 @@ func (w *worker) run(e *sim.Env) {
 				w.abortReclaim(qi, t)
 				return
 			}
-			w.afterProcess(e, st, e.Now()-start)
+			dur := e.Now() - start
+			w.afterProcess(e, st, dur)
+			w.noteService(qi, t, dur)
 			w.finish(e, t, start)
 		}
 	}
@@ -822,16 +906,30 @@ func (w *worker) newReqLoop(qi int) *reqLoop {
 	}
 }
 
-// pick selects the next upstream sender round-robin. Crashed producers are
-// skipped like producers with no data: nil return, empty streak bumped.
+// pick selects the next upstream sender — round-robin by default, or by
+// the stream scheduler's PickSender when one is installed. Crashed
+// producers are skipped like producers with no data: nil return, empty
+// streak bumped.
 func (l *reqLoop) pick() *sender {
-	snd := l.senders[l.st.rrSender%len(l.senders)]
+	idx := l.st.rrSender % len(l.senders)
+	if sch := l.stream.pol.Sched; sch != nil {
+		if i := sch.PickSender(l.w.consumer(), len(l.senders), l.senderView, l.st.rrSender); i >= 0 {
+			idx = i % len(l.senders)
+		}
+	}
+	snd := l.senders[idx]
 	l.st.rrSender++
 	if snd.inst.dead {
 		l.emptyStreak++
 		return nil
 	}
 	return snd
+}
+
+// senderView is the PeerView adapter PickSender observes senders through.
+func (l *reqLoop) senderView(i int) policy.PeerView {
+	s := l.senders[i]
+	return policy.PeerView{Node: s.inst.node.ID, Dead: s.inst.dead, Queued: s.queuedLen()}
 }
 
 // settle applies one fetch outcome to the requester's bookkeeping — the

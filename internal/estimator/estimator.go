@@ -65,6 +65,25 @@ func (p *Profile) Len() int { return len(p.samples) }
 // Samples returns the underlying samples (read-only use).
 func (p *Profile) Samples() []Sample { return p.samples }
 
+// Features maps a task's numeric parameters to the normalized feature
+// vector the distance metric works in: each dimension divided by the
+// profile's per-dimension maximum (1.0 when the profile has none), so
+// every feature of an in-profile task lands in [0, 1]. This is the
+// feature export learned schedulers (policy.BanditSched) build their
+// context from — the same normalization the kNN estimator already uses,
+// so the learner and the estimator see the same geometry.
+func (p *Profile) Features(params []float64) []float64 {
+	out := make([]float64, len(params))
+	for i, v := range params {
+		max := 1.0
+		if i < len(p.maxima) && p.maxima[i] > 0 {
+			max = p.maxima[i]
+		}
+		out[i] = math.Abs(v) / max
+	}
+	return out
+}
+
 // Distance computes the paper's metric between a query and a sample.
 func (p *Profile) Distance(params []float64, cats []string, s Sample) float64 {
 	var sum float64
@@ -229,6 +248,12 @@ func (e *Estimator) Speedup(kind hw.Kind, params []float64, cats []string) float
 		return 1
 	}
 	return e.profile.PredictSpeedup(params, cats, hw.CPU, kind, e.k)
+}
+
+// Features exposes the profile's normalized feature vector for the
+// described task (see Profile.Features).
+func (e *Estimator) Features(params []float64) []float64 {
+	return e.profile.Features(params)
 }
 
 // Report summarizes a cross-validation: mean absolute percentage errors of

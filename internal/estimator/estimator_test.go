@@ -233,3 +233,29 @@ func TestLoadRejectsBadInput(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileFeaturesNormalization(t *testing.T) {
+	p := NewProfile()
+	p.Add(Sample{Params: []float64{10, 0.5}, Times: [hw.NumKinds]float64{1, 1}})
+	p.Add(Sample{Params: []float64{40, 2.0}, Times: [hw.NumKinds]float64{1, 1}})
+	got := p.Features([]float64{20, 1.0})
+	if len(got) != 2 || got[0] != 0.5 || got[1] != 0.5 {
+		t.Fatalf("Features = %v, want [0.5 0.5]", got)
+	}
+	// In-profile parameters land in [0, 1]; the sign is dropped like the
+	// maxima computation does.
+	neg := p.Features([]float64{-40, 2.0})
+	if neg[0] != 1 || neg[1] != 1 {
+		t.Fatalf("Features(-40, 2) = %v, want [1 1]", neg)
+	}
+	// An empty profile normalizes by 1 (no information).
+	if f := NewProfile().Features([]float64{3}); f[0] != 3 {
+		t.Fatalf("empty-profile feature = %v, want 3", f[0])
+	}
+	// The Estimator facade exposes the same vector.
+	e := New(p, 1)
+	ef := e.Features([]float64{20, 1.0})
+	if ef[0] != 0.5 || ef[1] != 0.5 {
+		t.Fatalf("Estimator.Features = %v", ef)
+	}
+}

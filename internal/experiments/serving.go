@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/task"
 )
 
@@ -91,6 +92,7 @@ type servingPoint struct {
 	violations                  int
 	sketch                      *obs.Sketch
 	worst                       servingBreakdown
+	worstSpan                   string
 	err                         error
 }
 
@@ -154,6 +156,11 @@ func runServingPoint(seed int64, pol func() policy.StreamPolicy, times []sim.Tim
 			}
 		},
 	}
+	// The span collector chains behind the measurement hooks above; its
+	// Admit subscription records each accepted request as a lineage root so
+	// the worst violator's per-request breakdown can be built after the run.
+	col := span.NewCollector()
+	col.Attach(rt)
 
 	gw := rt.AddFilter(core.FilterSpec{
 		Name: "gateway", Placement: []int{0},
@@ -191,6 +198,11 @@ func runServingPoint(seed int64, pol func() policy.StreamPolicy, times []sim.Tim
 	for _, n := range served {
 		if n > 1 {
 			pt.dupes++
+		}
+	}
+	if pt.worst.taskID != 0 {
+		if a, err := col.BuildRequest(pt.worst.taskID); err == nil {
+			pt.worstSpan = a.Breakdown()
 		}
 	}
 	return pt
@@ -268,6 +280,10 @@ func runServing(cfg Config) *Report {
 				if pt.violations > 0 {
 					worstLines = append(worstLines,
 						fmt.Sprintf("- %s: %s", p.name, pt.worst))
+					if pt.worstSpan != "" {
+						worstLines = append(worstLines,
+							fmt.Sprintf("  - lineage: %s", pt.worstSpan))
+					}
 				}
 			}
 			series[pi].Add(load, pt.sketch.Quantile(0.99)/float64(sim.Millisecond))
@@ -357,6 +373,9 @@ func runServingScripted(cfg Config) *Report {
 		}
 		if pt.violations > 0 {
 			worstLines = append(worstLines, fmt.Sprintf("- %s: %s", p.name, pt.worst))
+			if pt.worstSpan != "" {
+				worstLines = append(worstLines, fmt.Sprintf("  - lineage: %s", pt.worstSpan))
+			}
 		}
 		tb.AddRow(p.name,
 			fmt.Sprintf("%d", pt.offered),

@@ -288,22 +288,57 @@ func TestPeekKeySkipsTombstonesSorted(t *testing.T) {
 }
 
 // TestPolicyStringRoundTrip pins the canonical string of every policy
-// constructor. RR-push regression: push streams have no demand signal, so
-// the string must say "push", not leak the struct-default "req=1".
+// constructor in the registry, so a new policy cannot ship without its
+// String() being checked (String() regressions have shipped twice: push
+// streams printing the struct-default "req=1", and the fault event's
+// "lat=0"). The test iterates Constructors() and demands an expected
+// string for each registered name — adding a constructor without extending
+// the table below fails loudly.
 func TestPolicyStringRoundTrip(t *testing.T) {
-	cases := []struct {
-		pol  StreamPolicy
-		want string
-	}{
-		{DDFCFS(4), "DDFCFS(req=4)"},
-		{DDFCFS(16), "DDFCFS(req=16)"},
-		{DDWRR(32), "DDWRR(req=32)"},
-		{ODDS(), "ODDS(dynamic)"},
-		{RRPush(), "RR-push(push)"},
+	want := map[string]string{
+		"DDFCFS":   "DDFCFS(req=4)",
+		"DDWRR":    "DDWRR(req=4)",
+		"ODDS":     "ODDS(dynamic)",
+		"RR-push":  "RR-push(push)",
+		"AFFINITY": "AFFINITY(sched,req=4)",
+		"HYBRID":   "HYBRID(sched,req=4)",
+		"BANDIT":   "BANDIT(sched,req=4)",
 	}
-	for _, c := range cases {
-		if got := c.pol.String(); got != c.want {
-			t.Errorf("String() = %q, want %q", got, c.want)
+	seen := make(map[string]bool)
+	for _, c := range Constructors() {
+		exp, ok := want[c.Name]
+		if !ok {
+			t.Fatalf("constructor %q registered without a String() round-trip entry — add it to this test", c.Name)
+		}
+		pol := c.New()
+		if pol.Name != c.Name {
+			t.Errorf("constructor %q builds policy named %q", c.Name, pol.Name)
+		}
+		if got := pol.String(); got != exp {
+			t.Errorf("%s.String() = %q, want %q", c.Name, got, exp)
+		}
+		if seen[c.Name] {
+			t.Errorf("constructor %q registered twice", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("expected constructor %q missing from Constructors()", name)
+		}
+	}
+	// Non-registry request sizes keep their explicit form.
+	if got := DDFCFS(16).String(); got != "DDFCFS(req=16)" {
+		t.Errorf("DDFCFS(16) = %q", got)
+	}
+	if got := DDWRR(32).String(); got != "DDWRR(req=32)" {
+		t.Errorf("DDWRR(32) = %q", got)
+	}
+	// Schedulers are stateful: every registry call must build a fresh one.
+	cs := Constructors()
+	for i, c := range cs {
+		if c.New().Sched != nil && c.New().Sched == cs[i].New().Sched {
+			t.Errorf("constructor %q shares scheduler state across New() calls", c.Name)
 		}
 	}
 }

@@ -125,11 +125,76 @@ func (q *Queue) popFIFO() *task.Task {
 		t := q.fifo[q.fifoHead]
 		q.fifo[q.fifoHead] = nil
 		q.fifoHead++
-		if !q.gone[t.ID] {
+		// A nil slot is a task PopRanked removed from the middle of the
+		// window; a tombstone is one removed through another view.
+		if t != nil && !q.gone[t.ID] {
 			return t
 		}
 	}
 	return nil
+}
+
+// PopRanked removes and returns the live task maximizing score, breaking
+// ties FIFO (lowest Seq), or nil if the queue is empty. It is the
+// pluggable-scheduler view of the queue: an external score cannot be
+// indexed by the per-kind heaps, so the selection is an O(n) scan over the
+// live tasks.
+func (q *Queue) PopRanked(score func(*task.Task) float64) *task.Task {
+	t, idx := q.bestRanked(score)
+	if t == nil {
+		return nil
+	}
+	if idx >= 0 {
+		q.fifo[idx] = nil // keep re-Push of this ID safe under lazy deletion
+	}
+	q.n--
+	q.gone[t.ID] = true
+	if q.n == 0 {
+		q.compact()
+	}
+	return t
+}
+
+// PeekRanked returns the score of the task PopRanked would remove, and
+// whether one exists, without removing it.
+func (q *Queue) PeekRanked(score func(*task.Task) float64) (float64, bool) {
+	t, _ := q.bestRanked(score)
+	if t == nil {
+		return 0, false
+	}
+	return score(t), true
+}
+
+// bestRanked scans the live tasks for the score maximum. The second result
+// is the winner's fifo index (FCFS ordering only; -1 otherwise).
+func (q *Queue) bestRanked(score func(*task.Task) float64) (*task.Task, int) {
+	if q.n == 0 {
+		return nil, -1
+	}
+	var best *task.Task
+	bestIdx, bestScore := -1, 0.0
+	consider := func(t *task.Task, idx int) {
+		if t == nil || q.gone[t.ID] || t == best {
+			return
+		}
+		if s := score(t); best == nil || s > bestScore ||
+			(s == bestScore && t.Seq < best.Seq) {
+			best, bestIdx, bestScore = t, idx, s
+		}
+	}
+	if q.ordering == FCFS {
+		for i := q.fifoHead; i < len(q.fifo); i++ {
+			consider(q.fifo[i], i)
+		}
+		return best, bestIdx
+	}
+	// Every live task has exactly one live entry in each per-kind heap;
+	// scanning any single heap enumerates them all (duplicated IDs from
+	// re-pushes collapse through the t == best guard and lazy deletion).
+	for _, it := range q.heaps[hw.Kinds[0]] {
+		consider(it.t, -1)
+	}
+	return best, -1
 }
 
 func (q *Queue) popHeap(kind hw.Kind) *task.Task {

@@ -1,0 +1,345 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func TestPopRankedMaxScoreBothOrderings(t *testing.T) {
+	for _, ord := range []Ordering{FCFS, Sorted} {
+		q := NewQueue(ord)
+		q.Push(mkTask(1, 2))
+		q.Push(mkTask(2, 8))
+		q.Push(mkTask(3, 4))
+		byGPUKey := func(tk *task.Task) float64 { return tk.Key[hw.GPU] }
+		if got := q.PopRanked(byGPUKey); got == nil || got.ID != 2 {
+			t.Fatalf("%v: pop = %v, want 2", ord, got)
+		}
+		// Removal must be visible through every other view.
+		if got := q.PopFor(hw.GPU); got == nil || got.ID == 2 {
+			t.Fatalf("%v: second pop = %v", ord, got)
+		}
+		if q.Len() != 1 {
+			t.Fatalf("%v: len = %d", ord, q.Len())
+		}
+	}
+}
+
+func TestPopRankedTieBreaksFIFO(t *testing.T) {
+	for _, ord := range []Ordering{FCFS, Sorted} {
+		q := NewQueue(ord)
+		q.Push(mkTask(9, 4))
+		q.Push(mkTask(3, 4)) // same score, later Seq? No: Seq = ID here.
+		if got := q.PopRanked(func(*task.Task) float64 { return 1 }); got.ID != 3 {
+			t.Fatalf("%v: tie pop = %d, want 3 (lowest Seq)", ord, got.ID)
+		}
+	}
+}
+
+func TestPeekRankedDoesNotRemove(t *testing.T) {
+	q := NewQueue(FCFS)
+	if _, ok := q.PeekRanked(func(*task.Task) float64 { return 0 }); ok {
+		t.Fatal("peek on empty queue")
+	}
+	q.Push(mkTask(1, 6))
+	s, ok := q.PeekRanked(func(tk *task.Task) float64 { return tk.Key[hw.GPU] })
+	if !ok || s != 6 {
+		t.Fatalf("peek = %v, %v", s, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek must not remove")
+	}
+}
+
+func TestPopRankedRepush(t *testing.T) {
+	score := func(tk *task.Task) float64 { return float64(tk.ID) }
+	for _, ord := range []Ordering{FCFS, Sorted} {
+		q := NewQueue(ord)
+		tk := mkTask(42, 5)
+		q.Push(tk)
+		q.Push(mkTask(7, 5))
+		if got := q.PopRanked(score); got.ID != 42 {
+			t.Fatalf("%v: pop = %v", ord, got.ID)
+		}
+		q.Push(tk) // cycle back while task 7 still queued
+		if got := q.PopRanked(score); got.ID != 42 {
+			t.Fatalf("%v: re-pushed pop = %v", ord, got.ID)
+		}
+		if got := q.PopRanked(score); got.ID != 7 {
+			t.Fatalf("%v: final pop = %v", ord, got.ID)
+		}
+		if q.Len() != 0 {
+			t.Fatalf("%v: len = %d", ord, q.Len())
+		}
+	}
+}
+
+func TestPopRankedConservationProperty(t *testing.T) {
+	// Property: mixing PopRanked and PopFor drains each task exactly once,
+	// for both orderings.
+	f := func(seed int64, sorted bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ord := FCFS
+		if sorted {
+			ord = Sorted
+		}
+		q := NewQueue(ord)
+		const n = 40
+		for i := 0; i < n; i++ {
+			q.Push(mkTask(uint64(i), 0.5+rng.Float64()*32))
+		}
+		seen := make(map[uint64]bool)
+		for i := 0; q.Len() > 0; i++ {
+			var tk *task.Task
+			switch i % 3 {
+			case 0:
+				tk = q.PopRanked(func(tk *task.Task) float64 { return tk.Key[hw.GPU] })
+			case 1:
+				tk = q.PopFor(hw.CPU)
+			default:
+				tk = q.PopRanked(func(tk *task.Task) float64 { return -float64(tk.Seq) })
+			}
+			if tk == nil || seen[tk.ID] {
+				return false
+			}
+			seen[tk.ID] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffinityScoreBoostsResidentBuffers(t *testing.T) {
+	a := NewAffinitySched()
+	a.SetHome(100, 3) // parent task 100 was processed on node 3
+	local := mkTask(1, 8)
+	local.Parent = 100
+	remote := mkTask(2, 8)
+	remote.Parent = 200
+	cOn3 := Consumer{Kind: hw.GPU, Node: 3}
+	if a.Score(local, cOn3) <= a.Score(remote, cOn3) {
+		t.Fatal("resident buffer must outscore a non-resident one on its home node")
+	}
+	cOn4 := Consumer{Kind: hw.GPU, Node: 4}
+	if a.Score(local, cOn4) != a.Score(remote, cOn4) {
+		t.Fatal("no boost away from the home node")
+	}
+	// The boost is multiplicative: device suitability still dominates.
+	cpuLocal := mkTask(3, 0.1)
+	cpuLocal.Parent = 100
+	if a.Score(cpuLocal, cOn3) >= a.Score(remote, cOn3) {
+		t.Fatal("locality must not override a strong device mismatch")
+	}
+}
+
+func TestAffinityPickSender(t *testing.T) {
+	a := NewAffinitySched()
+	views := []PeerView{
+		{Node: 0, Dead: false, Queued: 5},
+		{Node: 1, Dead: false, Queued: 2},
+		{Node: 2, Dead: true, Queued: 9},
+	}
+	view := func(i int) PeerView { return views[i] }
+	c := Consumer{Kind: hw.CPU, Node: 1}
+	// Co-located live sender with data wins.
+	if got := a.PickSender(c, 3, view, 0); got != 1 {
+		t.Fatalf("pick = %d, want co-located 1", got)
+	}
+	// Without a co-located sender: deepest live queue (dead ones skipped).
+	c.Node = 7
+	if got := a.PickSender(c, 3, view, 0); got != 0 {
+		t.Fatalf("pick = %d, want deepest live 0", got)
+	}
+	// All empty or dead: fall back to rotation.
+	views[0].Queued, views[1].Queued = 0, 0
+	if got := a.PickSender(c, 3, view, 5); got != 5%3 {
+		t.Fatalf("pick = %d, want rotation %d", got, 5%3)
+	}
+}
+
+func TestAffinityPickDest(t *testing.T) {
+	a := NewAffinitySched()
+	a.SetHome(100, 1)
+	tk := mkTask(1, 4)
+	tk.Parent = 100
+	views := []PeerView{{Node: 0}, {Node: 1}, {Node: 2}}
+	view := func(i int) PeerView { return views[i] }
+	if got := a.PickDest(tk, 3, view, 0); got != 1 {
+		t.Fatalf("dest = %d, want home 1", got)
+	}
+	views[1].Dead = true
+	if got := a.PickDest(tk, 3, view, 5); got != 5%3 {
+		t.Fatalf("dest = %d, want rotation fallback", got)
+	}
+}
+
+func TestHybridPartitionDominatesKeys(t *testing.T) {
+	h := NewHybridSched()
+	gpuTask := mkTask(1, 8)   // Key[GPU] = 8 >= theta: GPU partition
+	cpuTask := mkTask(2, 0.2) // Key[GPU] = 0.2 < theta: CPU partition
+	gpu := Consumer{Kind: hw.GPU}
+	cpu := Consumer{Kind: hw.CPU}
+	if h.Score(cpuTask, gpu) >= h.Score(gpuTask, gpu) {
+		t.Fatal("GPU must prefer its own partition regardless of key magnitude")
+	}
+	if h.Score(gpuTask, cpu) >= h.Score(cpuTask, cpu) {
+		t.Fatal("CPU must prefer its own partition")
+	}
+	if got := h.PickSender(Consumer{}, 4, nil, 9); got != 9%4 {
+		t.Fatalf("hybrid PickSender = %d, want rotation", got)
+	}
+}
+
+func TestHybridRebalancesOnStealSkew(t *testing.T) {
+	h := NewHybridSched()
+	start := h.Theta()
+	// One full window of GPU steals (GPU popping CPU-partition work): the
+	// GPU partition is starved, so the threshold must fall to widen it.
+	cpuTask := mkTask(1, 0.2)
+	for i := 0; i < hybridWindow; i++ {
+		h.ObservePop(Consumer{Kind: hw.GPU}, cpuTask)
+	}
+	if h.Theta() >= start {
+		t.Fatalf("theta = %v, want < %v after GPU starvation", h.Theta(), start)
+	}
+	// Now the reverse: CPU steals shrink the GPU partition.
+	h2 := NewHybridSched()
+	gpuTask := mkTask(2, 8)
+	for i := 0; i < hybridWindow; i++ {
+		h2.ObservePop(Consumer{Kind: hw.CPU}, gpuTask)
+	}
+	if h2.Theta() <= start {
+		t.Fatalf("theta = %v, want > %v after CPU steals", h2.Theta(), start)
+	}
+	// Threshold stays clamped under sustained pressure.
+	for i := 0; i < 100*hybridWindow; i++ {
+		h.ObservePop(Consumer{Kind: hw.GPU}, cpuTask)
+		h2.ObservePop(Consumer{Kind: hw.CPU}, gpuTask)
+	}
+	if h.Theta() < 0.1 || h2.Theta() > 10 {
+		t.Fatalf("theta escaped clamp: %v %v", h.Theta(), h2.Theta())
+	}
+	// Balanced steals leave the threshold alone.
+	h3 := NewHybridSched()
+	for i := 0; i < hybridWindow/2; i++ {
+		h3.ObservePop(Consumer{Kind: hw.GPU}, cpuTask)
+		h3.ObservePop(Consumer{Kind: hw.CPU}, gpuTask)
+	}
+	if h3.Theta() != start {
+		t.Fatalf("theta = %v, want unchanged %v", h3.Theta(), start)
+	}
+}
+
+func TestBanditLearnsDeviceAssignment(t *testing.T) {
+	b := NewBanditSched(1, nil)
+	tk := mkTask(1, 1)
+	gpu := Consumer{Kind: hw.GPU}
+	cpu := Consumer{Kind: hw.CPU}
+	// Feed rewards: GPU serves this context 10x faster.
+	for i := 0; i < 50; i++ {
+		b.ObserveService(gpu, tk, 1*sim.Millisecond)
+		b.ObserveService(cpu, tk, 10*sim.Millisecond)
+	}
+	// Find a task ID that is not an exploration pick for either kind.
+	var probe *task.Task
+	for id := uint64(1); id < 1000; id++ {
+		if !b.explore(id, hw.GPU) && !b.explore(id, hw.CPU) {
+			probe = mkTask(id, 1)
+			break
+		}
+	}
+	if probe == nil {
+		t.Fatal("no greedy task ID found")
+	}
+	if b.Score(probe, gpu) <= 0 {
+		t.Fatalf("GPU advantage = %v, want > 0", b.Score(probe, gpu))
+	}
+	if b.Score(probe, cpu) >= 0 {
+		t.Fatalf("CPU advantage = %v, want < 0", b.Score(probe, cpu))
+	}
+}
+
+func TestBanditOptimismAndExploration(t *testing.T) {
+	b := NewBanditSched(1, nil)
+	var greedy, explore *task.Task
+	for id := uint64(1); id < 2000 && (greedy == nil || explore == nil); id++ {
+		if b.explore(id, hw.GPU) {
+			if explore == nil {
+				explore = mkTask(id, 1)
+			}
+		} else if greedy == nil {
+			greedy = mkTask(id, 1)
+		}
+	}
+	if greedy == nil || explore == nil {
+		t.Fatal("hash coin never flips")
+	}
+	gpu := Consumer{Kind: hw.GPU}
+	// Untried context: optimistic score, below the exploration boost.
+	if s := b.Score(greedy, gpu); s != banditOptimism {
+		t.Fatalf("untried score = %v, want %v", s, banditOptimism)
+	}
+	if s := b.Score(explore, gpu); s < banditExploreBoost {
+		t.Fatalf("explore score = %v, want >= %v", s, banditExploreBoost)
+	}
+	// Scores are stable across calls (no stateful randomness).
+	if b.Score(explore, gpu) != b.Score(explore, gpu) {
+		t.Fatal("explore score not deterministic")
+	}
+	// Roughly epsilon of IDs explore.
+	n := 0
+	for id := uint64(0); id < 10000; id++ {
+		if b.explore(id, hw.GPU) {
+			n++
+		}
+	}
+	if n < 500 || n > 1500 {
+		t.Fatalf("explore rate = %d/10000, want ~1000", n)
+	}
+}
+
+func TestBanditFeatureBuckets(t *testing.T) {
+	feats := func(params []float64) []float64 { return params }
+	b := NewBanditSched(1, feats)
+	gpu := Consumer{Kind: hw.GPU}
+	small := mkTask(1, 1)
+	small.Params = []float64{0.1}
+	large := mkTask(2, 1)
+	large.Params = []float64{0.9}
+	// Reward only the small-task context on the GPU; the large-task
+	// context must remain untried (different bucket).
+	for i := 0; i < 10; i++ {
+		b.ObserveService(gpu, small, sim.Millisecond)
+		b.ObserveService(Consumer{Kind: hw.CPU}, small, 10*sim.Millisecond)
+	}
+	var probeSmall, probeLarge *task.Task
+	for id := uint64(1); id < 2000; id++ {
+		if b.explore(id, hw.GPU) {
+			continue
+		}
+		if probeSmall == nil {
+			probeSmall = mkTask(id, 1)
+			probeSmall.Params = []float64{0.1}
+			continue
+		}
+		probeLarge = mkTask(id, 1)
+		probeLarge.Params = []float64{0.9}
+		break
+	}
+	if b.Score(probeLarge, gpu) != banditOptimism {
+		t.Fatalf("unseen bucket score = %v, want optimism", b.Score(probeLarge, gpu))
+	}
+	if b.Score(probeSmall, gpu) <= 0 {
+		t.Fatalf("learned bucket advantage = %v, want > 0", b.Score(probeSmall, gpu))
+	}
+	if b.bucket(small) == b.bucket(large) {
+		t.Fatal("distinct features landed in one bucket")
+	}
+}

@@ -34,10 +34,19 @@ type StreamPolicy struct {
 	// processed efficiently"); the reproduction implements them so that
 	// exclusion is backed by a measurement.
 	Push bool
+	// Sched, when non-nil, overrides the ordering-based buffer selection
+	// and the round-robin peer rotation with a pluggable Scheduler (see
+	// sched.go). Schedulers are stateful and owned by one run: build the
+	// policy through a constructor per simulation, never share a value.
+	Sched Scheduler
 }
 
 func (p StreamPolicy) String() string {
 	switch {
+	case p.Sched != nil && p.Dynamic:
+		return fmt.Sprintf("%s(sched,dynamic)", p.Name)
+	case p.Sched != nil:
+		return fmt.Sprintf("%s(sched,req=%d)", p.Name, p.RequestSize)
 	case p.Push:
 		// Push streams have no demand signal, so a request size would be
 		// meaningless (RRPush carries RequestSize 1 only as a struct

@@ -2,6 +2,7 @@ package span
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"repro/internal/sim"
@@ -51,13 +52,20 @@ type Hop struct {
 // lineages: the makespan decomposed into typed, attributed segments.
 type Attribution struct {
 	Makespan sim.Time
+	// Origin is the left edge of the tiling window: 0 for a batch run
+	// (Build), the admission instant of the request root for a
+	// per-request attribution (BuildRequest). The path tiles
+	// [Origin, Makespan].
+	Origin sim.Time
 	// Buffers and Processed count tracked task IDs and how many of them
-	// completed a handler.
+	// completed a handler; for a per-request attribution both count only
+	// the request's own lineage.
 	Buffers   int
 	Processed int
 	// FinalTask is the buffer whose handler completion set the makespan.
 	FinalTask uint64
-	// Path is the critical path: contiguous segments tiling [0, Makespan].
+	// Path is the critical path: contiguous segments tiling
+	// [Origin, Makespan].
 	Path []Seg
 	// Hops is the lineage chain the path follows, root first.
 	Hops []Hop
@@ -80,15 +88,20 @@ func (a *Attribution) PathEnd() sim.Time {
 	return a.Path[len(a.Path)-1].End
 }
 
-// Coverage returns the critical path's share of the makespan, in percent.
-// It is 100 whenever the run's makespan was set by buffer processing; a
-// shortfall means the tail of the run (e.g. drain after the last handler)
-// is not attributable to any buffer.
+// Coverage returns the critical path's share of the tiling window
+// [Origin, Makespan], in percent. It is 100 whenever the window's end was
+// set by buffer processing; a shortfall means the tail of the window
+// (e.g. drain after the last handler) is not attributable to any buffer.
+// Batch attributions have Origin 0, so this is their share of the
+// makespan; per-request attributions measure against the request's own
+// [inject, complete] window — the fix for open-system runs, where
+// measuring idle gateway time before the arrival against the whole run
+// would mis-attribute it.
 func (a *Attribution) Coverage() float64 {
-	if a.Makespan <= 0 {
+	if a.Makespan <= a.Origin || len(a.Path) == 0 {
 		return 0
 	}
-	return float64(a.PathEnd()-a.Path[0].Start) / float64(a.Makespan) * 100
+	return float64(a.PathEnd()-a.Path[0].Start) / float64(a.Makespan-a.Origin) * 100
 }
 
 // Build extracts the critical path for a finished run. makespan is the
@@ -113,16 +126,34 @@ func (c *Collector) Build(makespan sim.Time) (*Attribution, error) {
 		return nil, errors.New("span: no processed buffer collected")
 	}
 
-	// Walk the lineage backward, then reverse into causal order. The walk
-	// stops at a source-born buffer (Parent 0) or at a parent the collector
-	// never saw complete (defensive: truncated capture).
+	chain, err := c.lineageChain(final, 0, len(c.order))
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Attribution{
+		Makespan:  makespan,
+		Buffers:   len(c.bufs),
+		Processed: processed,
+		FinalTask: final.ID,
+	}
+	assemble(a, chain)
+	return a, nil
+}
+
+// lineageChain walks backward from final through the parent links, then
+// reverses into causal order. The walk stops at a source-born buffer
+// (Parent 0), at stop (a per-request root), or at a parent the collector
+// never saw complete (defensive: truncated capture). limit bounds the walk
+// against lineage cycles.
+func (c *Collector) lineageChain(final *Buffer, stop uint64, limit int) ([]*Buffer, error) {
 	var chain []*Buffer
 	for b := final; b != nil; {
 		chain = append(chain, b)
-		if len(chain) > len(c.order) {
+		if len(chain) > limit {
 			return nil, errors.New("span: lineage cycle")
 		}
-		if b.Parent == 0 {
+		if b.ID == stop || b.Parent == 0 {
 			break
 		}
 		p := c.bufs[b.Parent]
@@ -134,14 +165,13 @@ func (c *Collector) Build(makespan sim.Time) (*Attribution, error) {
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
+	return chain, nil
+}
 
-	a := &Attribution{
-		Makespan:  makespan,
-		Buffers:   len(c.bufs),
-		Processed: processed,
-		FinalTask: final.ID,
-	}
-	cur := sim.Time(0)
+// assemble tiles the chain's segments over [a.Origin, ...), appending one
+// Hop per buffer.
+func assemble(a *Attribution, chain []*Buffer) {
+	cur := a.Origin
 	for _, b := range chain {
 		hopStart := cur
 		cur = appendHop(a, b, cur)
@@ -159,6 +189,67 @@ func (c *Collector) Build(makespan sim.Time) (*Attribution, error) {
 			End:      cur,
 		})
 	}
+}
+
+// BuildRequest extracts the critical path of one open-system request: the
+// lineage rooted at the admitted task root, tiled over exactly
+// [inject, complete] — inject being the admission instant the Admit hook
+// recorded and complete the handler-completion instant of the request's
+// last-finishing processed descendant (ties toward the smallest task ID).
+// Unlike Build, which assumes the batch tiling [0, makespan], the window
+// belongs to the request alone: idle time before the arrival is not
+// attributed to it. Conservation per request is exact: the path's first
+// segment starts at Origin and its last ends at Makespan.
+func (c *Collector) BuildRequest(root uint64) (*Attribution, error) {
+	origin, ok := c.inject[root]
+	if !ok {
+		return nil, fmt.Errorf("span: task %d was not admitted as a request root", root)
+	}
+	// Children index over the collected lineages, in first-seen order so
+	// the BFS below is deterministic.
+	kids := make(map[uint64][]uint64, len(c.bufs))
+	for _, id := range c.order {
+		if p := c.bufs[id].Parent; p != 0 {
+			kids[p] = append(kids[p], id)
+		}
+	}
+	// The request's lineage: everything reachable from the root.
+	var final *Buffer
+	members, processed := 0, 0
+	queue := []uint64{root}
+	seen := map[uint64]bool{root: true}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		members++
+		if b := c.bufs[id]; b != nil && b.Processed {
+			processed++
+			if final == nil || b.End > final.End || (b.End == final.End && b.ID < final.ID) {
+				final = b
+			}
+		}
+		for _, k := range kids[id] {
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, k)
+			}
+		}
+	}
+	if final == nil {
+		return nil, fmt.Errorf("span: request %d has no processed buffer", root)
+	}
+	chain, err := c.lineageChain(final, root, members)
+	if err != nil {
+		return nil, err
+	}
+	a := &Attribution{
+		Makespan:  final.End,
+		Origin:    origin,
+		Buffers:   members,
+		Processed: processed,
+		FinalTask: final.ID,
+	}
+	assemble(a, chain)
 	return a, nil
 }
 

@@ -1,0 +1,229 @@
+package span
+
+import (
+	"testing"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// openPipe describes one open-system test shape: Poisson arrivals at an
+// admission-controlled gateway, optionally one forwarding hop before the
+// heterogeneous serve stage.
+type openPipe struct {
+	name       string
+	seed       int64
+	rate       float64 // requests per second of virtual time
+	n          int     // offered requests
+	queueLimit int
+	hop        bool // insert a forwarding middle filter
+	gpu        bool
+	policy     func() policy.StreamPolicy
+}
+
+var openPipes = []openPipe{
+	{name: "light-odds", seed: 1, rate: 500, n: 60, queueLimit: 32, policy: policy.ODDS},
+	{name: "overload-shed", seed: 2, rate: 4000, n: 200, queueLimit: 4,
+		policy: func() policy.StreamPolicy { return policy.DDFCFS(4) }},
+	{name: "forward-hop", seed: 3, rate: 800, n: 80, queueLimit: 32, hop: true, policy: policy.ODDS},
+	{name: "gpu-pool", seed: 4, rate: 1500, n: 120, queueLimit: 16, gpu: true, policy: policy.ODDS},
+}
+
+// runOpenPipe drives an open-system run with a collector attached and
+// returns the collector, the arrival stats, and the run result.
+func runOpenPipe(t testing.TB, p openPipe) (*Collector, *arrival.Stats, core.Result) {
+	t.Helper()
+	k := sim.NewKernel(p.seed)
+	c := hw.NewCluster(k, []hw.NodeSpec{
+		{CPUCores: 2},
+		{CPUCores: 2, HasGPU: p.gpu},
+	}, nil)
+	rt := core.New(c, nil)
+	col := NewCollector()
+	col.Attach(rt)
+
+	gw := rt.AddFilter(core.FilterSpec{
+		Name: "gateway", Placement: []int{0},
+		Open: true, QueueLimit: p.queueLimit,
+	})
+	prev := gw
+	if p.hop {
+		mid := rt.AddFilter(core.FilterSpec{
+			Name: "mid", Placement: []int{0}, CPUWorkers: 1,
+			Handler: func(ctx *core.Ctx, tk *task.Task) core.Action {
+				return core.Action{Forward: []*task.Task{{
+					Size: tk.Size / 2, OutSize: tk.OutSize, Cost: tk.Cost,
+				}}}
+			},
+		})
+		rt.Connect(prev, mid, p.policy())
+		prev = mid
+	}
+	srv := rt.AddFilter(core.FilterSpec{
+		Name: "serve", Placement: []int{0, 1},
+		CPUWorkers: 1, UseGPU: p.gpu, GPUWorkers: 1,
+		Handler: func(ctx *core.Ctx, tk *task.Task) core.Action { return core.Action{} },
+	})
+	rt.Connect(prev, srv, p.policy())
+
+	sched := &arrival.Schedule{Procs: []arrival.Proc{{
+		Kind: arrival.Poisson, Rate: p.rate, N: p.n,
+	}}}
+	st := arrival.Drive(rt, gw, sched.Times(p.seed), func(int) *task.Task {
+		return &task.Task{
+			Size: 8 << 10, OutSize: 1 << 10,
+			Cost: func(kw hw.Kind) sim.Time {
+				if kw == hw.GPU {
+					return 300 * sim.Microsecond
+				}
+				return sim.Millisecond
+			},
+		}
+	})
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatalf("%s: run: %v", p.name, err)
+	}
+	if err := rt.Validate(); err != nil {
+		t.Fatalf("%s: validate: %v", p.name, err)
+	}
+	return col, st, res
+}
+
+// checkRequestConservation asserts the per-request tiling property with
+// exact float equality: the path's first segment starts at the admission
+// instant (Origin), the last ends at the request's completion (Makespan),
+// and segments abut with no gaps or overlaps.
+func checkRequestConservation(t *testing.T, name string, root uint64, a *Attribution) {
+	t.Helper()
+	if len(a.Path) == 0 {
+		t.Fatalf("%s: request %d: empty path", name, root)
+	}
+	if a.Path[0].Start != a.Origin {
+		t.Errorf("%s: request %d: path starts at %v, origin %v",
+			name, root, a.Path[0].Start, a.Origin)
+	}
+	if a.PathEnd() != a.Makespan {
+		t.Errorf("%s: request %d: path ends at %v, completion %v",
+			name, root, a.PathEnd(), a.Makespan)
+	}
+	for i, s := range a.Path {
+		if s.End <= s.Start {
+			t.Errorf("%s: request %d: segment %d empty or reversed: %+v", name, root, i, s)
+		}
+		if i > 0 && s.Start != a.Path[i-1].End {
+			t.Errorf("%s: request %d: gap/overlap between segments %d and %d: %v -> %v",
+				name, root, i-1, i, a.Path[i-1].End, s.Start)
+		}
+	}
+	// Exact endpoints force exact coverage.
+	if a.Coverage() != 100 {
+		t.Errorf("%s: request %d: coverage %v, want exactly 100", name, root, a.Coverage())
+	}
+	// The per-kind breakdown reconstructs the window length (up to float
+	// summation order), and the window is the request's own, not the run's.
+	var sum sim.Time
+	for _, s := range a.ByKind() {
+		sum += s.Dur
+	}
+	win := a.Makespan - a.Origin
+	if d := float64(sum - win); d > 1e-9*float64(win) || d < -1e-9*float64(win) {
+		t.Errorf("%s: request %d: kind breakdown sums to %v, window %v", name, root, sum, win)
+	}
+	// The chain starts at the request root itself.
+	if len(a.Hops) == 0 || a.Hops[0].Task != root {
+		t.Errorf("%s: request %d: lineage chain does not start at the root (hops %v)",
+			name, root, a.Hops)
+	}
+}
+
+func TestRequestConservation(t *testing.T) {
+	for _, p := range openPipes {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			col, st, res := runOpenPipe(t, p)
+			if len(col.inject) != st.Accepted {
+				t.Fatalf("collector saw %d admitted roots, arrival stats say %d",
+					len(col.inject), st.Accepted)
+			}
+			if p.name == "overload-shed" && st.Rejected == 0 {
+				t.Fatal("overload shape shed nothing; shedding path untested")
+			}
+			built := 0
+			for root, origin := range col.inject {
+				a, err := col.BuildRequest(root)
+				if err != nil {
+					t.Fatalf("request %d: %v", root, err)
+				}
+				if a.Origin != origin {
+					t.Errorf("request %d: origin %v, admit hook recorded %v", root, a.Origin, origin)
+				}
+				if a.Makespan > res.Makespan {
+					t.Errorf("request %d: completes at %v, after run makespan %v",
+						root, a.Makespan, res.Makespan)
+				}
+				checkRequestConservation(t, p.name, root, a)
+				built++
+			}
+			if built != st.Accepted {
+				t.Fatalf("built %d attributions, %d admitted", built, st.Accepted)
+			}
+		})
+	}
+}
+
+// TestRequestWindowIsOwn pins the bug the per-request roots fix: a batch
+// Build over an open run tiles [0, makespan] and charges pre-arrival idle
+// time to the final lineage, while BuildRequest tiles each request's own
+// [inject, complete] window. For any request admitted after the epoch the
+// two windows must differ on the left edge.
+func TestRequestWindowIsOwn(t *testing.T) {
+	p := openPipes[0]
+	col, _, res := runOpenPipe(t, p)
+	batch, err := col.Build(res.Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Origin != 0 {
+		t.Fatalf("batch Build origin %v, want 0", batch.Origin)
+	}
+	if batch.Path[0].Start != 0 {
+		t.Fatalf("batch path starts at %v, want epoch", batch.Path[0].Start)
+	}
+	late := 0
+	for root := range col.inject {
+		a, err := col.BuildRequest(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Origin > 0 {
+			late++
+			if a.Path[0].Start == 0 {
+				t.Fatalf("request %d admitted at %v but its path starts at the epoch",
+					root, a.Origin)
+			}
+		}
+		// Per-request lineage counts only the request's own buffers.
+		if a.Buffers > batch.Buffers {
+			t.Fatalf("request %d counts %d buffers, run tracked %d",
+				root, a.Buffers, batch.Buffers)
+		}
+	}
+	if late == 0 {
+		t.Fatal("every request arrived at the epoch; left-edge property untested")
+	}
+}
+
+func TestBuildRequestRejectsNonRoots(t *testing.T) {
+	col, _, _ := runOpenPipe(t, openPipes[0])
+	if _, err := col.BuildRequest(0); err == nil {
+		t.Fatal("task 0 (the rejected-arrival sentinel) accepted as a request root")
+	}
+	if _, err := col.BuildRequest(1 << 60); err == nil {
+		t.Fatal("unknown task accepted as a request root")
+	}
+}

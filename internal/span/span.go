@@ -121,15 +121,26 @@ type Buffer struct {
 }
 
 // Collector subscribes to a runtime's hook bus and assembles buffer
-// lineages. Attach before rt.Run; Build after.
+// lineages. Attach before rt.Run; Build (batch runs) or BuildRequest
+// (open-system request roots) after.
 type Collector struct {
 	bufs  map[uint64]*Buffer
 	order []uint64 // first-seen order, for deterministic iteration
+	// inject records the admission instant of every accepted open-system
+	// request root (Admit hook), the left edge of its per-request tiling.
+	inject map[uint64]sim.Time
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{bufs: make(map[uint64]*Buffer)}
+	return &Collector{bufs: make(map[uint64]*Buffer), inject: make(map[uint64]sim.Time)}
+}
+
+// Injected returns the admission instant of an accepted request root, and
+// whether the Admit hook recorded one.
+func (c *Collector) Injected(id uint64) (sim.Time, bool) {
+	t, ok := c.inject[id]
+	return t, ok
 }
 
 // buf returns (creating if needed) the buffer record for a task ID.
@@ -201,6 +212,17 @@ func (c *Collector) Attach(rt *core.Runtime) {
 		b.ConsumerInst = r.Instance
 		if prevProc != nil {
 			prevProc(r)
+		}
+	}
+	prevAdmit := rt.Hooks.Admit
+	rt.Hooks.Admit = func(r core.AdmitRecord) {
+		if r.Accepted {
+			// Rejected arrivals carry TaskID 0 and never enter the system;
+			// accepted ones become per-request lineage roots.
+			c.inject[r.TaskID] = r.At
+		}
+		if prevAdmit != nil {
+			prevAdmit(r)
 		}
 	}
 	prevSpan := rt.Hooks.Span

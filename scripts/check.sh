@@ -56,6 +56,18 @@ for seed in 1 2 3; do
 done
 rm -rf "$servingdir"
 
+echo "== policylab determinism  (serial vs 4-worker rival-scheduler matrix, seeds 1-3)"
+go test -race -run '^TestPolicylab' -timeout 20m ./internal/experiments
+labdir=$(mktemp -d)
+for seed in 1 2 3; do
+    go run ./cmd/anthill-sim -exp policylab -seed "$seed" -parallel=false \
+        -o "$labdir/a.md"
+    go run ./cmd/anthill-sim -exp policylab -seed "$seed" -parallel -workers 4 \
+        -o "$labdir/b.md"
+    cmp "$labdir/a.md" "$labdir/b.md"
+done
+rm -rf "$labdir"
+
 echo "== trace determinism  (same-seed -trace/-metrics-out captures must be byte-identical)"
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT
