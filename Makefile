@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism serving-determinism policylab-determinism byte-identity check verify
+.PHONY: all build vet test test-short test-race fuzz-smoke bench-sweep trace-determinism explain-determinism serving-determinism policylab-determinism serve-smoke byte-identity check verify
 
 all: build
 
@@ -98,6 +98,12 @@ policylab-determinism:
 	done; \
 	echo "policylab-determinism: byte-identical (seeds 1-3)"
 
+# End-to-end gate for the live demo server: build cmd/anthill-serve, start
+# it on a short schedule, poll /healthz, assert the /metrics families and an
+# SSE frame, then SIGTERM and require exit 0.
+serve-smoke:
+	$(GO) test -run '^TestServeSmoke$$' -count=1 -timeout 5m ./cmd/anthill-serve
+
 # The full seed-1 report must match the checked-in digest byte-for-byte
 # (scripts/exp_all_seed1.sha256). Regenerate the digest only for intentional
 # model changes; a mismatch after a refactor means determinism broke.
@@ -112,8 +118,8 @@ byte-identity:
 # Mid-weight verification: vet + tier-1 tests + fuzz smoke + the chaos
 # fault-injection determinism check (serial vs 4 workers, seeds 1-3) + the
 # trace/metrics, explain-artifact, serving, policy-lab and full-report
-# byte-identity gates.
-verify: vet test fuzz-smoke trace-determinism explain-determinism serving-determinism policylab-determinism byte-identity
+# byte-identity gates + the live demo-server smoke test.
+verify: vet test fuzz-smoke trace-determinism explain-determinism serving-determinism policylab-determinism serve-smoke byte-identity
 	$(GO) test -run '^TestChaosDeterminism$$' -timeout 20m ./internal/experiments
 
 # Tier-1+ pre-merge verification (vet, build, race, determinism seeds 1-3,

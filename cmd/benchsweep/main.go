@@ -4,8 +4,10 @@
 // worker pool, sweep points per second for both, the resulting speedup,
 // the cost of enabling the attribution/observability captures
 // (explain_overhead_pct — the price of -explain, paid only when asked
-// for), and the simulation kernel's allocation profile on its hot-path
-// workloads.
+// for), the cost of the live demo server's observability sink
+// (live_sink_overhead_pct — hooks + sketches + registry + collector on
+// versus off on the same serve-engine drain), and the simulation kernel's
+// allocation profile on its hot-path workloads.
 //
 // Usage:
 //
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sim/oracle"
 )
@@ -77,8 +80,16 @@ type summary struct {
 	// relative to the plain pooled run. With captures disabled the hook bus
 	// is nil-guarded and costs nothing — this records the price actually
 	// paid when -explain/-trace are requested.
-	ExplainOverheadPct float64       `json:"explain_overhead_pct"`
-	SimAllocs          []allocResult `json:"sim_kernel_allocs"`
+	ExplainOverheadPct float64 `json:"explain_overhead_pct"`
+	// LiveSinkOverheadPct is the extra wall time of draining the live demo
+	// engine (cmd/anthill-serve's multi-policy serving simulation) with its
+	// observability sink attached — engine hook bus + windowed latency
+	// sketches + obs registry + span collector — relative to the identical
+	// engine with the sink disabled (serve.Config.DisableSink). This is the
+	// per-event price of live observability, as opposed to
+	// explain_overhead_pct's price of the batch capture artifacts.
+	LiveSinkOverheadPct float64       `json:"live_sink_overhead_pct"`
+	SimAllocs           []allocResult `json:"sim_kernel_allocs"`
 	KernelBench        []kernelBench `json:"kernel_vs_oracle"`
 }
 
@@ -369,6 +380,30 @@ func messagePathOracle() {
 	}
 }
 
+// serveDrain builds the live demo engine — all three policies racing a
+// shared uniform schedule at ~0.9x one pipeline's capacity — and drains it
+// with a single Advance. sink toggles the live observability attachment;
+// everything else is identical, so the wall-time ratio prices the sink.
+func serveDrain(sink bool) {
+	const n = 4000
+	gap := sim.Time(1.0 / (0.9 * serve.Capacity))
+	times := make([]sim.Time, n)
+	for i := range times {
+		times[i] = sim.Time(i) * gap
+	}
+	e, err := serve.New(serve.Config{Seed: 1, Times: times, DisableSink: !sink})
+	if err != nil {
+		panic(err)
+	}
+	done, err := e.Advance(1000 * sim.Second)
+	if err != nil {
+		panic(err)
+	}
+	if !done {
+		panic("benchsweep: serve engine did not drain")
+	}
+}
+
 // secsPerRun times fn averaged over reps runs after one warm-up call.
 func secsPerRun(reps int, fn func()) float64 {
 	fn()
@@ -434,6 +469,11 @@ func main() {
 	policylab := timedExtra("policylab", cfg, parWorkers)
 	fmt.Fprintf(os.Stderr, "benchsweep: policylab %.1fs, %d points (%.1f points/s)\n",
 		policylab.WallSeconds, policylab.Points, policylab.PointsPerSec)
+	fmt.Fprintf(os.Stderr, "benchsweep: live-sink overhead (serve engine drain, sink on vs off)...\n")
+	sinkOn := secsPerRun(5, func() { serveDrain(true) })
+	sinkOff := secsPerRun(5, func() { serveDrain(false) })
+	fmt.Fprintf(os.Stderr, "benchsweep: live sink on %.3fs, off %.3fs (%.1f%% overhead)\n",
+		sinkOn, sinkOff, (sinkOn/sinkOff-1)*100)
 
 	effective := parWorkers
 	if mp := runtime.GOMAXPROCS(0); mp < effective {
@@ -453,6 +493,7 @@ func main() {
 		ParallelComparisonValid: effective > 1,
 		Identical:               serialOut == parOut,
 		ExplainOverheadPct:      (parExplain.WallSeconds/par.WallSeconds - 1) * 100,
+		LiveSinkOverheadPct:     (sinkOn/sinkOff - 1) * 100,
 		SimAllocs: []allocResult{
 			{"event_loop_4procs_x_1000_sleeps", allocsPerRun(5, eventLoop)},
 			{"event_loop_step_4procs_x_1000_steps", allocsPerRun(5, eventLoopStep)},

@@ -422,6 +422,22 @@ type Result struct {
 // Run builds the instances, seeds the sources, spawns all runtime processes
 // and executes the simulation to completion.
 func (rt *Runtime) Run() (Result, error) {
+	rt.Start()
+	err := rt.K.Run()
+	if err == nil {
+		err = rt.Validate()
+	}
+	res, _ := rt.result()
+	return res, err
+}
+
+// Start performs every setup step of Run — building instances, seeding
+// sources, spawning processes and the terminator — without entering the
+// event loop, so a live driver can advance the kernel incrementally with
+// sim.Kernel.AdvanceTo instead of handing it the whole run at once. After
+// the kernel drains, call Finish for the validated Result. Run is exactly
+// Start + Kernel.Run + Finish.
+func (rt *Runtime) Start() {
 	if rt.ran {
 		panic("core: Run called twice")
 	}
@@ -488,16 +504,26 @@ func (rt *Runtime) Run() (Result, error) {
 			return sim.Done()
 		})
 	})
+}
 
-	err := rt.K.Run()
+// Finish validates the drained run and assembles its Result — the closing
+// half of the Start/AdvanceTo driving mode. Call it exactly once, after the
+// kernel reports done.
+func (rt *Runtime) Finish() (Result, error) {
+	res, err := rt.result()
 	if err == nil {
 		err = rt.Validate()
 	}
+	return res, err
+}
+
+// result assembles the Result from the lineage tracker's final state.
+func (rt *Runtime) result() (Result, error) {
 	return Result{
 		Makespan:  rt.track.completedAt,
 		Completed: rt.track.total,
 		DrainTime: rt.K.Now(),
-	}, err
+	}, nil
 }
 
 // Done reports whether all task lineages have completed.

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/apps/nbia"
 	"repro/internal/apps/vi"
+	"repro/internal/arrival"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/hw"
@@ -87,9 +88,121 @@ func RunCapture(cfg Config, id string) *ObsCapture {
 		}, nil)
 	case "chaos":
 		return captureChaos(cfg)
+	case "serving":
+		return captureServing(cfg)
+	case "policylab":
+		return capturePolicylab(cfg)
 	default:
 		return nil
 	}
+}
+
+// captureServing runs one representative open-system cell — ODDS at 0.7x
+// capacity on the serving experiment's two-node pool (or the user's
+// -arrivals spec) — with the observability layer attached, so the demo
+// pipeline's admission, queueing, and transfer activity is inspectable as
+// a trace, metrics document, and per-request attribution.
+func captureServing(cfg Config) *ObsCapture {
+	var times []sim.Time
+	if cfg.ArrivalSpec != "" {
+		sched, err := arrival.Parse(cfg.ArrivalSpec)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: serving capture: %v", err))
+		}
+		times = sched.Times(cfg.Seed)
+	} else {
+		horizon := servingHorizon(cfg)
+		rate := 0.7 * servingCapacity
+		sched := &arrival.Schedule{Procs: []arrival.Proc{{
+			Kind: arrival.Poisson, Rate: rate, N: int(rate * float64(horizon)),
+		}}}
+		times = sched.Times(cfg.Seed)
+	}
+	k := sim.NewKernel(cfg.Seed)
+	cl := hw.NewCluster(k, []hw.NodeSpec{
+		{CPUCores: 2},
+		{CPUCores: 2, HasGPU: true},
+	}, nil)
+	rt := core.New(cl, nil)
+	log := trace.NewChromeLog()
+	reg := obs.NewRegistry()
+	col := span.NewCollector()
+	log.Attach(rt)
+	reg.Attach(rt)
+	col.Attach(rt)
+	gw := rt.AddFilter(core.FilterSpec{
+		Name: "gateway", Placement: []int{0},
+		Open: true, QueueLimit: servingQueueLimit,
+	})
+	srv := rt.AddFilter(core.FilterSpec{
+		Name: "serve", Placement: []int{0, 1},
+		CPUWorkers: 1, UseGPU: true, GPUWorkers: 1,
+		Handler: func(ctx *core.Ctx, tk *task.Task) core.Action { return core.Action{} },
+	})
+	rt.Connect(gw, srv, policy.ODDS())
+	arrival.Drive(rt, gw, times, func(int) *task.Task {
+		return &task.Task{
+			Size: 8 << 10, OutSize: 1 << 10,
+			Cost: func(kw hw.Kind) sim.Time {
+				if kw == hw.GPU {
+					return servingGPUCost
+				}
+				return servingCPUCost
+			},
+		}
+	})
+	res, err := rt.Run()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: serving capture failed: %v", err))
+	}
+	log.AddCluster(cl)
+	return renderCapture(log, reg, col, res.Makespan, k.Now())
+}
+
+// capturePolicylab runs the lab's batch leg on the balanced shape with the
+// affinity rival scheduler (its residency hooks wired), the configuration
+// that distinguishes the lab from the paper-policy captures above.
+func capturePolicylab(cfg Config) *ObsCapture {
+	s := labShapes[0]
+	defs := labPolicies(cfg.Seed, nil)
+	def := defs[0]
+	for _, d := range defs {
+		if d.name == "AFFINITY" {
+			def = d
+			break
+		}
+	}
+	pol := def.mk()
+	hooks := labHooks(pol)
+	k := sim.NewKernel(cfg.Seed)
+	cl := s.cluster(k)
+	log := trace.NewChromeLog()
+	reg := obs.NewRegistry()
+	col := span.NewCollector()
+	res, err := nbia.Run(nbia.Config{
+		Cluster:    cl,
+		Tiles:      captureTiles,
+		RecalcRate: labRecalc,
+		Policy:     pol,
+		UseGPU:     true,
+		CPUWorkers: -1,
+		AsyncCopy:  true,
+		Weights:    nbia.WeightEstimator,
+		Seed:       cfg.Seed + 17,
+		Hooks: func(rt *core.Runtime) {
+			log.Attach(rt)
+			reg.Attach(rt)
+			col.Attach(rt)
+			if hooks != nil {
+				hooks(rt)
+			}
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: policylab capture failed: %v", err))
+	}
+	log.AddCluster(cl)
+	return renderCapture(log, reg, col, res.Makespan, k.Now())
 }
 
 // captureNBIA runs one NBIA configuration with the observability layer

@@ -83,7 +83,7 @@ func TestChaosCaptureHasFaultEvents(t *testing.T) {
 // byte-identical artifacts — the contract behind scripts/check.sh's
 // trace-determinism gate.
 func TestCaptureDeterministic(t *testing.T) {
-	for _, id := range []string{"fig7", "fig8"} {
+	for _, id := range []string{"fig7", "fig8", "serving", "policylab"} {
 		a := RunCapture(Config{Seed: 1}, id)
 		b := RunCapture(Config{Seed: 1}, id)
 		if !bytes.Equal(a.Trace, b.Trace) {
@@ -98,7 +98,8 @@ func TestCaptureDeterministic(t *testing.T) {
 // TestCaptureCoverage pins which experiments provide captures.
 func TestCaptureCoverage(t *testing.T) {
 	for _, id := range []string{"fig6", "fig7", "table2", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "fig14", "chaos"} {
+		"fig10", "fig11", "fig12", "fig13", "fig14", "chaos",
+		"serving", "policylab"} {
 		if RunCapture(Config{Seed: 1}, id) == nil {
 			t.Errorf("experiment %s should have a capture", id)
 		}

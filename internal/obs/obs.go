@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -169,7 +170,15 @@ func (h *Hist) Mean() float64 {
 }
 
 // Registry aggregates one run's hook stream.
+//
+// Mutation through the Attach hooks and reads through Snapshot share an
+// internal mutex, so a live consumer (the serve demo's /metrics handler)
+// can snapshot the registry from another goroutine while the simulation is
+// still feeding it. Direct use of the Counter/Gauge/Hist accessors is not
+// synchronized — that path is for single-goroutine post-run aggregation,
+// where the lock would buy nothing.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Hist
@@ -219,13 +228,19 @@ func (r *Registry) Hist(key string) *Hist {
 // Attach subscribes the registry to every hook of the runtime's bus,
 // chaining any subscriber already installed so multiple consumers (e.g. a
 // trace collector and a registry) can share one run. Call before rt.Run.
+//
+// Each hook takes the registry mutex around its mutations (and releases it
+// before chaining to the previous subscriber), so Snapshot can read from
+// another goroutine mid-run.
 func (r *Registry) Attach(rt *core.Runtime) {
 	prevProc := rt.Hooks.Process
 	rt.Hooks.Process = func(rec core.ProcRecord) {
 		dur := float64(rec.End - rec.Start)
 		k := fmt.Sprintf("filter=%s,inst=%d,dev=%s", rec.Filter, rec.Instance, rec.Kind)
+		r.mu.Lock()
 		r.Counter("events_processed{" + k + "}").Add(1)
 		r.Counter("service_time_s{" + k + "}").Add(dur)
+		r.mu.Unlock()
 		if prevProc != nil {
 			prevProc(rec)
 		}
@@ -233,8 +248,10 @@ func (r *Registry) Attach(rt *core.Runtime) {
 	prevTarget := rt.Hooks.Target
 	rt.Hooks.Target = func(rec core.TargetRecord) {
 		k := fmt.Sprintf("dqaa_target{filter=%s,inst=%d,worker=%s}", rec.Filter, rec.Instance, rec.Worker)
+		r.mu.Lock()
 		r.Gauge(k).Set(rec.At, float64(rec.Target))
 		r.Hist(k).Observe(rec.At, rec.Target)
+		r.mu.Unlock()
 		if prevTarget != nil {
 			prevTarget(rec)
 		}
@@ -242,16 +259,21 @@ func (r *Registry) Attach(rt *core.Runtime) {
 	prevDepth := rt.Hooks.QueueDepth
 	rt.Hooks.QueueDepth = func(rec core.QueueDepthRecord) {
 		k := fmt.Sprintf("queue_depth{filter=%s,inst=%d,queue=%s}", rec.Filter, rec.Instance, rec.Queue)
+		r.mu.Lock()
 		r.Gauge(k).Set(rec.At, float64(rec.Depth))
 		r.Hist(k).Observe(rec.At, rec.Depth)
+		r.mu.Unlock()
 		if prevDepth != nil {
 			prevDepth(rec)
 		}
 	}
 	prevDemand := rt.Hooks.Demand
 	rt.Hooks.Demand = func(rec core.DemandRecord) {
-		r.Counter(fmt.Sprintf("demand{filter=%s,inst=%d,input=%d,event=%s}",
-			rec.Filter, rec.Instance, rec.Input, rec.Event)).Add(1)
+		k := fmt.Sprintf("demand{filter=%s,inst=%d,input=%d,event=%s}",
+			rec.Filter, rec.Instance, rec.Input, rec.Event)
+		r.mu.Lock()
+		r.Counter(k).Add(1)
+		r.mu.Unlock()
 		if prevDemand != nil {
 			prevDemand(rec)
 		}
@@ -263,8 +285,10 @@ func (r *Registry) Attach(rt *core.Runtime) {
 			mode = "push"
 		}
 		k := fmt.Sprintf("stream=%s,inst=%d,mode=%s", rec.Stream, rec.FromInstance, mode)
+		r.mu.Lock()
 		r.Counter("stream_sends{" + k + "}").Add(1)
 		r.Counter("stream_bytes{" + k + "}").Add(float64(rec.Bytes))
+		r.mu.Unlock()
 		if prevSend != nil {
 			prevSend(rec)
 		}
@@ -272,7 +296,9 @@ func (r *Registry) Attach(rt *core.Runtime) {
 	prevEmit := rt.Hooks.Emit
 	rt.Hooks.Emit = func(rec core.EmitRecord) {
 		k := fmt.Sprintf("stream=%s,inst=%d", rec.Stream, rec.Instance)
+		r.mu.Lock()
 		r.Counter("stream_emits{" + k + "}").Add(1)
+		r.mu.Unlock()
 		if prevEmit != nil {
 			prevEmit(rec)
 		}
@@ -284,14 +310,19 @@ func (r *Registry) Attach(rt *core.Runtime) {
 			mode = "push"
 		}
 		k := fmt.Sprintf("stream=%s,inst=%d,mode=%s", rec.Stream, rec.Instance, mode)
+		r.mu.Lock()
 		r.Counter("stream_delivers{" + k + "}").Add(1)
+		r.mu.Unlock()
 		if prevDeliver != nil {
 			prevDeliver(rec)
 		}
 	}
 	prevFault := rt.Hooks.Fault
 	rt.Hooks.Fault = func(rec core.FaultRecord) {
-		r.Counter(fmt.Sprintf("faults{kind=%s,phase=%s}", rec.Kind, rec.Phase)).Add(1)
+		k := fmt.Sprintf("faults{kind=%s,phase=%s}", rec.Kind, rec.Phase)
+		r.mu.Lock()
+		r.Counter(k).Add(1)
+		r.mu.Unlock()
 		if prevFault != nil {
 			prevFault(rec)
 		}
@@ -299,11 +330,13 @@ func (r *Registry) Attach(rt *core.Runtime) {
 	prevSpan := rt.Hooks.Span
 	rt.Hooks.Span = func(rec core.SpanRecord) {
 		k := fmt.Sprintf("filter=%s,inst=%d,node=%d,kind=%s", rec.Filter, rec.Instance, rec.NodeID, rec.Kind)
+		r.mu.Lock()
 		r.Counter("xfer_spans{" + k + "}").Add(1)
 		r.Counter("xfer_busy_s{" + k + "}").Add(float64(rec.End - rec.Start))
 		if rec.Bytes > 0 {
 			r.Counter("xfer_bytes{" + k + "}").Add(float64(rec.Bytes))
 		}
+		r.mu.Unlock()
 		if prevSpan != nil {
 			prevSpan(rec)
 		}

@@ -1,0 +1,189 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4) for registry snapshots. The
+// registry's keys are "name{k=v,k=v}" strings; the writer parses them back
+// into metric families and label sets, prefixes every family with
+// "anthill_", and renders the families and their series fully sorted so the
+// output for a fixed snapshot is byte-identical across runs — the property
+// the serve demo's /metrics determinism test pins down.
+//
+// Mapping:
+//   - counters  -> "<name>_total" counter series carrying Sum (the obs
+//     Counter's N is recoverable from the *_total of pure event counters)
+//   - gauges    -> "<name>" gauge series carrying the last value
+//   - histograms-> "<name>_hist" histogram families with cumulative le
+//     buckets. These are TIME-weighted: _count is the total observed
+//     virtual time and _sum is the value-time integral, because the obs
+//     Hist tracks how long a signal held each level, not how often.
+//     The "_hist" suffix keeps the family distinct from the same-named
+//     gauge the bus feeds in parallel (a Prometheus name must have one
+//     type).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePromText renders the snapshot in the Prometheus text exposition
+// format. Output is deterministic: families sorted by name, series sorted
+// by label string.
+func (s Snapshot) WritePromText(w io.Writer) error {
+	type series struct {
+		labels string // rendered label block, "" or `{k="v",...}`
+		text   string // fully rendered sample line(s)
+	}
+	families := make(map[string]*struct {
+		typ    string
+		help   string
+		series []series
+	})
+	add := func(name, typ, help, labels, text string) {
+		f := families[name]
+		if f == nil {
+			f = &struct {
+				typ    string
+				help   string
+				series []series
+			}{typ: typ, help: help}
+			families[name] = f
+		}
+		f.series = append(f.series, series{labels: labels, text: text})
+	}
+
+	for _, c := range s.Counters {
+		base, labels := parseKey(c.Key)
+		name := "anthill_" + base + "_total"
+		add(name, "counter", "obs counter "+base+" (sum of observations)", labels,
+			fmt.Sprintf("%s%s %s\n", name, labels, FormatPromValue(c.Sum)))
+	}
+	for _, g := range s.Gauges {
+		base, labels := parseKey(g.Key)
+		name := "anthill_" + base
+		add(name, "gauge", "obs gauge "+base+" (last value)", labels,
+			fmt.Sprintf("%s%s %s\n", name, labels, FormatPromValue(g.Last)))
+	}
+	for _, h := range s.Hists {
+		base, labels := parseKey(h.Key)
+		name := "anthill_" + base + "_hist"
+		var b strings.Builder
+		var cum, sum float64
+		for i, lv := range h.Levels {
+			cum += h.Weights[i]
+			sum += float64(lv) * h.Weights[i]
+			fmt.Fprintf(&b, "%s_bucket%s %s\n", name,
+				withLabel(labels, "le", FormatPromValue(float64(lv))), FormatPromValue(cum))
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %s\n", name, withLabel(labels, "le", "+Inf"), FormatPromValue(cum))
+		fmt.Fprintf(&b, "%s_sum%s %s\n", name, labels, FormatPromValue(sum))
+		fmt.Fprintf(&b, "%s_count%s %s\n", name, labels, FormatPromValue(cum))
+		add(name, "histogram", "obs time-weighted histogram "+base+" (count/sum are virtual-time weights)",
+			labels, b.String())
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := families[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, escapeHelp(f.help), n, f.typ); err != nil {
+			return err
+		}
+		for _, sr := range f.series {
+			if _, err := io.WriteString(w, sr.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseKey splits a registry key "name{k=v,k=v}" into the metric name and a
+// rendered, escaped Prometheus label block. A key without braces has no
+// labels. Malformed pairs (no "=") become a "key" label so no information
+// is silently dropped.
+func parseKey(key string) (name, labels string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return promName(key), ""
+	}
+	name = promName(key[:open])
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, pair := range strings.Split(body, ",") {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			k, v = "key", pair
+		}
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return name, b.String()
+}
+
+// withLabel appends one label to a rendered label block.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// promName sanitizes a metric or label name: [a-zA-Z0-9_:] survive, every
+// other byte becomes '_', and a leading digit gets a '_' prefix.
+func promName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote, and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// FormatPromValue renders a sample value with the shortest round-trippable
+// representation — deterministic and parseable by strconv.ParseFloat.
+// Exported for consumers (the serve engine) that append their own families
+// to a snapshot's exposition.
+func FormatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,147 @@
+package obs
+
+// Sliding-window quantiles for the live serving path: a ring of per-window
+// GK sketches keyed by the window index floor(at/width), so p50/p99/p999
+// are reported over the last N windows instead of cumulatively since boot.
+// Queries merge the live windows' summaries; the GK merge is deterministic
+// (pure rank arithmetic over sorted entries), so a fixed insertion schedule
+// yields byte-identical percentiles run to run.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Merge returns a new sketch summarizing the union of both inputs' samples;
+// neither input is modified. Entries are merge-sorted by value and each
+// entry's rank slack widens by the uncertainty of its successor in the
+// other sketch — the standard GK merge — so the result is accurate to
+// max(s.Eps(), o.Eps()) of the combined count. The merged summary is not
+// recompressed: it is a transient query structure, and skipping the
+// compression keeps the error bound airtight.
+func (s *Sketch) Merge(o *Sketch) *Sketch {
+	eps := math.Max(s.eps, o.eps)
+	if s.n == 0 {
+		return o.clone(eps)
+	}
+	if o.n == 0 {
+		return s.clone(eps)
+	}
+	m := &Sketch{eps: eps, n: s.n + o.n, entries: make([]gkEntry, 0, len(s.entries)+len(o.entries))}
+	a, b := s.entries, o.entries
+	var i, j int
+	for i < len(a) || j < len(b) {
+		var e gkEntry
+		var other []gkEntry
+		var oi int
+		if j >= len(b) || (i < len(a) && a[i].v <= b[j].v) {
+			e, other, oi = a[i], b, j
+			i++
+		} else {
+			e, other, oi = b[j], a, i
+			j++
+		}
+		if oi < len(other) {
+			// The successor in the other sketch covers up to g+delta ranks
+			// that may precede or follow e; widen e's slack accordingly.
+			e.delta += other[oi].g + other[oi].delta - 1
+		}
+		m.entries = append(m.entries, e)
+	}
+	// The global extremes have exact ranks 1 and n: clamp their slack so the
+	// merged summary satisfies the same invariants Add/compress maintain.
+	m.entries[0].delta = 0
+	m.entries[len(m.entries)-1].delta = 0
+	return m
+}
+
+// clone copies the sketch with the given error bound (>= the original's).
+func (s *Sketch) clone(eps float64) *Sketch {
+	return &Sketch{eps: eps, n: s.n, entries: append([]gkEntry(nil), s.entries...)}
+}
+
+// WindowedSketch holds a ring of per-window GK sketches. A sample at time t
+// lands in window floor(t/width); queries merge the windows still live at
+// the query instant, i.e. the last `windows` of them. Reusing a ring slot
+// for a new window index discards the expired window's samples.
+type WindowedSketch struct {
+	eps   float64
+	width sim.Time
+	slots []windowSlot
+}
+
+// windowSlot pairs a ring slot's sketch with the window index it holds.
+type windowSlot struct {
+	idx int64 // floor(t/width) of the held window; -1 while empty
+	sk  *Sketch
+}
+
+// NewWindowedSketch creates a sliding-window sketch with the given
+// per-window rank-error bound, window width, and window count.
+func NewWindowedSketch(eps float64, width sim.Time, windows int) *WindowedSketch {
+	if width <= 0 {
+		panic(fmt.Sprintf("obs: window width must be positive, got %v", width))
+	}
+	if windows < 1 {
+		panic(fmt.Sprintf("obs: window count must be >= 1, got %d", windows))
+	}
+	w := &WindowedSketch{eps: eps, width: width, slots: make([]windowSlot, windows)}
+	for i := range w.slots {
+		w.slots[i] = windowSlot{idx: -1, sk: NewSketch(eps)}
+	}
+	return w
+}
+
+// Add inserts one sample observed at time at (>= 0). Samples need not be
+// time-ordered within the live span, but an insert more than `windows`
+// windows in the past lands in a reused slot and is treated as current.
+func (w *WindowedSketch) Add(at sim.Time, v float64) {
+	idx := int64(at / w.width)
+	slot := &w.slots[idx%int64(len(w.slots))]
+	if slot.idx != idx {
+		slot.idx = idx
+		slot.sk = NewSketch(w.eps)
+	}
+	slot.sk.Add(v)
+}
+
+// live yields the slots holding windows still visible at time at, in
+// ascending window order so merges fold deterministically.
+func (w *WindowedSketch) live(at sim.Time) []*Sketch {
+	cur := int64(at / w.width)
+	oldest := cur - int64(len(w.slots)) + 1
+	out := make([]*Sketch, 0, len(w.slots))
+	for off := oldest; off <= cur; off++ {
+		slot := &w.slots[((off%int64(len(w.slots)))+int64(len(w.slots)))%int64(len(w.slots))]
+		if slot.idx == off && slot.sk.n > 0 {
+			out = append(out, slot.sk)
+		}
+	}
+	return out
+}
+
+// Merged returns one sketch summarizing every sample in the windows live at
+// time at. The result is a fresh transient summary; the ring is unchanged.
+func (w *WindowedSketch) Merged(at sim.Time) *Sketch {
+	m := NewSketch(w.eps)
+	for _, sk := range w.live(at) {
+		m = m.Merge(sk)
+	}
+	return m
+}
+
+// Quantile returns the q-quantile over the windows live at time at.
+func (w *WindowedSketch) Quantile(at sim.Time, q float64) float64 {
+	return w.Merged(at).Quantile(q)
+}
+
+// Count returns the number of samples in the windows live at time at.
+func (w *WindowedSketch) Count(at sim.Time) int64 {
+	var n int64
+	for _, sk := range w.live(at) {
+		n += sk.n
+	}
+	return n
+}

@@ -1,0 +1,572 @@
+// Package serve is the live-observability engine behind cmd/anthill-serve.
+// It builds one shared simulation holding an independent open-system
+// serving pipeline per stream policy (arrivals -> admission-controlled
+// gateway -> heterogeneous CPU/GPU serve pool), then advances the virtual
+// clock in step with an external clock at a configurable time-dilation
+// factor. While the simulation runs, the engine exposes thread-safe views:
+// registry snapshots rendered as Prometheus text for /metrics, JSON frames
+// with sliding-window latency percentiles for the SSE stream, and a bounded
+// JSONL ring of shed/SLO-violation events.
+//
+// Determinism boundary: everything inside the simulation — arrival
+// instants, admissions, service order, latencies — is a pure function of
+// (seed, schedule, policies), exactly as in the batch experiments; only
+// *when* the outside world looks at it (which wall instant maps to which
+// virtual instant) is nondeterministic. Driving the same engine with a
+// ManualClock therefore replays byte-identical /metrics output, the
+// property the determinism tests pin.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/span"
+	"repro/internal/task"
+)
+
+// Per-request service costs and pool shape, mirroring the serving
+// experiment: each policy pipeline gets a private two-node pool (one
+// CPU-only node, one GPU node) so the policies compete on identical,
+// isolated hardware.
+const (
+	cpuCost = sim.Millisecond
+	gpuCost = 300 * sim.Microsecond
+
+	// DefaultSLO is the end-to-end latency objective, as in the serving
+	// experiment.
+	DefaultSLO = 5 * sim.Millisecond
+	// DefaultQueueLimit bounds each gateway's send queue.
+	DefaultQueueLimit = 32
+	// DefaultWindow and DefaultWindows size the sliding percentile window:
+	// 8 windows of 25 ms = percentiles over the last 200 ms of virtual time.
+	DefaultWindow  = 25 * sim.Millisecond
+	DefaultWindows = 8
+	// DefaultEventCap bounds the JSONL event ring.
+	DefaultEventCap = 4096
+)
+
+// Capacity is one pipeline's aggregate service rate in requests per second
+// (two CPU workers plus one GPU worker).
+const Capacity = 2.0/0.001 + 1.0/0.0003
+
+// PolicyNames are the recognized -policies values, in canonical order.
+var PolicyNames = []string{"ddfcfs", "ddwrr", "odds"}
+
+// ctor returns the constructor for a policy name (case-insensitive).
+func ctor(name string) (func() policy.StreamPolicy, error) {
+	switch strings.ToLower(name) {
+	case "ddfcfs":
+		return func() policy.StreamPolicy { return policy.DDFCFS(4) }, nil
+	case "ddwrr":
+		return func() policy.StreamPolicy { return policy.DDWRR(32) }, nil
+	case "odds":
+		return func() policy.StreamPolicy { return policy.ODDS() }, nil
+	}
+	return nil, fmt.Errorf("serve: unknown policy %q (have %s)", name, strings.Join(PolicyNames, ", "))
+}
+
+// Config parameterizes an Engine. Zero values take the defaults above;
+// Times is required.
+type Config struct {
+	Seed       int64
+	Policies   []string   // subset of PolicyNames; nil = all
+	Times      []sim.Time // arrival instants, shared by every pipeline
+	SLO        sim.Time
+	QueueLimit int
+	Window     sim.Time
+	Windows    int
+	EventCap   int
+	// DisableSink skips attaching the live sink (engine hook bus, obs
+	// registry, span collector), leaving the simulation hook-free: frames
+	// and /metrics stay empty. Benchmarks use it to price the sink —
+	// cmd/benchsweep's live_sink_overhead_pct row is Advance-to-drain with
+	// the sink on versus off on an otherwise identical engine.
+	DisableSink bool
+}
+
+func (c *Config) defaults() {
+	if len(c.Policies) == 0 {
+		c.Policies = PolicyNames
+	}
+	if c.SLO == 0 {
+		c.SLO = DefaultSLO
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Windows == 0 {
+		c.Windows = DefaultWindows
+	}
+	if c.EventCap == 0 {
+		c.EventCap = DefaultEventCap
+	}
+}
+
+// worst is the stage breakdown of a pipe's worst SLO violator so far.
+type worst struct {
+	taskID                     uint64
+	node                       int
+	kind                       hw.Kind
+	admit, deliver, start, end sim.Time
+}
+
+func (w worst) latency() sim.Time { return w.end - w.admit }
+
+// pipe is the live state of one policy's pipeline.
+type pipe struct {
+	name       string
+	stats      *arrival.Stats
+	admitAt    map[uint64]sim.Time
+	deliverAt  map[uint64]sim.Time
+	win        *obs.WindowedSketch
+	cum        *obs.Sketch
+	served     int
+	violations int
+	curDepth   int
+	maxDepth   int
+	worst      worst
+	worstDirty bool   // a new worst arrived since the lineage was last built
+	lineage    string // rendered span breakdown of the worst violator
+	breakdown  string // rendered stage breakdown of the worst violator
+}
+
+// Event is one entry of the bounded JSONL stream: an admission shed or an
+// SLO violation, stamped with virtual time.
+type Event struct {
+	At        float64 `json:"at"`
+	Policy    string  `json:"policy"`
+	Type      string  `json:"type"` // "shed" | "slo_violation"
+	Task      uint64  `json:"task"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+}
+
+// Engine drives the multi-policy serving simulation and serves consistent
+// views of it. All methods are safe for concurrent use; the simulation
+// itself only advances inside Advance.
+type Engine struct {
+	cfg Config
+
+	mu    sync.Mutex
+	k     *sim.Kernel
+	rt    *core.Runtime
+	reg   *obs.Registry
+	col   *span.Collector
+	pipes []*pipe
+	// horizon is the furthest virtual instant Advance has been asked to
+	// reach — the engine's notion of "now". The kernel's own clock lags it
+	// at the last dispatched event, so views use the horizon instead.
+	horizon sim.Time
+	ring    []Event
+	next    int // ring write cursor
+	wrap    bool
+	done    bool
+	err     error
+}
+
+// New builds the engine: one kernel, one runtime, an isolated two-node
+// pool and gateway->serve pipeline per policy, hooks feeding the engine's
+// live state, a span collector for lineage, and an obs registry for
+// /metrics. The runtime is started; call Advance to make progress.
+func New(cfg Config) (*Engine, error) {
+	cfg.defaults()
+	if len(cfg.Times) == 0 {
+		return nil, fmt.Errorf("serve: no arrival instants")
+	}
+	ctors := make([]func() policy.StreamPolicy, len(cfg.Policies))
+	for i, name := range cfg.Policies {
+		c, err := ctor(name)
+		if err != nil {
+			return nil, err
+		}
+		ctors[i] = c
+	}
+
+	e := &Engine{cfg: cfg, k: sim.NewKernel(cfg.Seed), ring: make([]Event, 0, cfg.EventCap)}
+	specs := make([]hw.NodeSpec, 0, 2*len(cfg.Policies))
+	for range cfg.Policies {
+		specs = append(specs, hw.NodeSpec{CPUCores: 2}, hw.NodeSpec{CPUCores: 2, HasGPU: true})
+	}
+	e.rt = core.New(hw.NewCluster(e.k, specs, nil), nil)
+
+	byFilter := make(map[string]*pipe, 2*len(cfg.Policies))
+	for _, name := range cfg.Policies {
+		p := &pipe{
+			name:      strings.ToLower(name),
+			admitAt:   make(map[uint64]sim.Time, len(cfg.Times)),
+			deliverAt: make(map[uint64]sim.Time, len(cfg.Times)),
+			win:       obs.NewWindowedSketch(obs.DefaultEps, cfg.Window, cfg.Windows),
+			cum:       obs.NewSketch(obs.DefaultEps),
+		}
+		e.pipes = append(e.pipes, p)
+		byFilter["gateway-"+p.name] = p
+		byFilter["serve-"+p.name] = p
+	}
+
+	// Engine hooks are installed first, then the span collector and the
+	// registry chain in front (later-attached subscribers fire first), so by
+	// the time the engine sees a record the collector has already recorded
+	// the lineage it would need for BuildRequest. Every hook runs inside
+	// Advance, which holds e.mu — pipe state needs no extra lock.
+	if !cfg.DisableSink {
+		e.installSink(byFilter)
+	}
+
+	for i := range cfg.Policies {
+		p := e.pipes[i]
+		gw := e.rt.AddFilter(core.FilterSpec{
+			Name: "gateway-" + p.name, Placement: []int{2 * i},
+			Open: true, QueueLimit: cfg.QueueLimit,
+		})
+		srv := e.rt.AddFilter(core.FilterSpec{
+			Name: "serve-" + p.name, Placement: []int{2 * i, 2*i + 1},
+			CPUWorkers: 1, UseGPU: true, GPUWorkers: 1,
+			Handler: func(ctx *core.Ctx, tk *task.Task) core.Action { return core.Action{} },
+		})
+		e.rt.Connect(gw, srv, ctors[i]())
+		p.stats = arrival.Drive(e.rt, gw, cfg.Times, func(int) *task.Task {
+			return &task.Task{
+				Size: 8 << 10, OutSize: 1 << 10,
+				Cost: func(kw hw.Kind) sim.Time {
+					if kw == hw.GPU {
+						return gpuCost
+					}
+					return cpuCost
+				},
+			}
+		})
+	}
+	e.rt.Start()
+	return e, nil
+}
+
+// installSink wires the engine's hook bus, the span collector, and the obs
+// registry onto the runtime (see the ordering note at the call site).
+func (e *Engine) installSink(byFilter map[string]*pipe) {
+	e.rt.Hooks = core.Bus{
+		Admit: func(r core.AdmitRecord) {
+			p := byFilter[r.Filter]
+			if p == nil {
+				return
+			}
+			if r.Accepted {
+				p.admitAt[r.TaskID] = r.At
+				return
+			}
+			e.record(Event{At: float64(r.At), Policy: p.name, Type: "shed", Task: r.TaskID})
+		},
+		QueueDepth: func(r core.QueueDepthRecord) {
+			p := byFilter[r.Filter]
+			if p == nil || !strings.HasPrefix(r.Filter, "gateway-") || r.Queue != "send" {
+				return
+			}
+			p.curDepth = r.Depth
+			if r.Depth > p.maxDepth {
+				p.maxDepth = r.Depth
+			}
+		},
+		Deliver: func(r core.DeliverRecord) {
+			p := byFilter[r.Filter]
+			if p == nil || !strings.HasPrefix(r.Filter, "serve-") {
+				return
+			}
+			p.deliverAt[r.TaskID] = r.At
+		},
+		Process: func(r core.ProcRecord) {
+			p := byFilter[r.Filter]
+			if p == nil || !strings.HasPrefix(r.Filter, "serve-") {
+				return
+			}
+			at, ok := p.admitAt[r.TaskID]
+			if !ok {
+				return // defensive: processed without an admit record
+			}
+			lat := r.End - at
+			p.served++
+			p.win.Add(r.End, float64(lat))
+			p.cum.Add(float64(lat))
+			if lat <= e.cfg.SLO {
+				return
+			}
+			p.violations++
+			e.record(Event{At: float64(r.End), Policy: p.name, Type: "slo_violation",
+				Task: r.TaskID, LatencyMS: float64(lat) / float64(sim.Millisecond)})
+			if lat > p.worst.latency() || p.worst.taskID == 0 {
+				p.worst = worst{taskID: r.TaskID, node: r.NodeID, kind: r.Kind,
+					admit: at, deliver: p.deliverAt[r.TaskID], start: r.Start, end: r.End}
+				p.worstDirty = true
+			}
+		},
+	}
+	e.col = span.NewCollector()
+	e.col.Attach(e.rt)
+	e.reg = obs.NewRegistry()
+	e.reg.Attach(e.rt)
+}
+
+// record appends to the bounded event ring, overwriting the oldest entry
+// once full. Caller holds e.mu (record only runs from hooks inside Advance).
+func (e *Engine) record(ev Event) {
+	if len(e.ring) < cap(e.ring) {
+		e.ring = append(e.ring, ev)
+		return
+	}
+	e.ring[e.next] = ev
+	e.next = (e.next + 1) % cap(e.ring)
+	e.wrap = true
+}
+
+// Advance runs the simulation up to virtual time v (inclusive). It returns
+// done=true once every event has drained — all arrivals injected and every
+// admitted request served — after which the run's invariants have been
+// validated and further calls are no-ops.
+func (e *Engine) Advance(v sim.Time) (done bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v > e.horizon {
+		e.horizon = v
+	}
+	if e.done {
+		return true, e.err
+	}
+	kdone, kerr := e.k.AdvanceTo(v)
+	if kdone {
+		e.done = true
+		e.err = kerr
+		if e.err == nil {
+			_, e.err = e.rt.Finish()
+		}
+	}
+	return e.done, e.err
+}
+
+// Step maps a wall-clock instant to its virtual instant under the dilation
+// factor (virtual = wall / dilation) and advances to it.
+func (e *Engine) Step(wall sim.Time, dilation float64) (bool, error) {
+	return e.Advance(wall / sim.Time(dilation))
+}
+
+// Pace drives the engine against a clock until the simulation drains: each
+// iteration advances to clk.Now()/dilation, reports a frame, and sleeps one
+// tick. onFrame may be nil; returning false from it stops the loop early.
+// With sim.WallClock this is the live serving loop; with sim.ManualClock it
+// replays the dilated schedule deterministically (Sleep advances the clock).
+func (e *Engine) Pace(clk sim.Clock, dilation float64, tick sim.Time, onFrame func(Frame) bool) error {
+	if dilation <= 0 {
+		return fmt.Errorf("serve: dilation must be positive, got %g", dilation)
+	}
+	if tick <= 0 {
+		return fmt.Errorf("serve: tick must be positive, got %v", tick)
+	}
+	for {
+		done, err := e.Step(clk.Now(), dilation)
+		if err != nil {
+			return err
+		}
+		if onFrame != nil && !onFrame(e.Frame()) {
+			return nil
+		}
+		if done {
+			return nil
+		}
+		clk.Sleep(tick)
+	}
+}
+
+// Now returns the engine's current virtual time — the horizon the caller
+// has advanced to, not the (lagging) instant of the last simulated event.
+func (e *Engine) Now() sim.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.horizon
+}
+
+// Done reports whether the simulation has drained, and any run error.
+func (e *Engine) Done() (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.done, e.err
+}
+
+// WorstInfo is the live makespan attribution of a pipe's worst SLO
+// violator: the stage breakdown plus the span-collector lineage.
+type WorstInfo struct {
+	Task      uint64  `json:"task"`
+	LatencyMS float64 `json:"latency_ms"`
+	Breakdown string  `json:"breakdown"`
+	Lineage   string  `json:"lineage,omitempty"`
+}
+
+// PipeFrame is one policy's slice of a frame.
+type PipeFrame struct {
+	Policy        string     `json:"policy"`
+	Offered       int        `json:"offered"`
+	Accepted      int        `json:"accepted"`
+	Shed          int        `json:"shed"`
+	Served        int        `json:"served"`
+	Violations    int        `json:"violations"`
+	QueueDepth    int        `json:"queue_depth"`
+	MaxQueueDepth int        `json:"max_queue_depth"`
+	WindowCount   int64      `json:"window_count"`
+	P50ms         float64    `json:"p50_ms"`
+	P99ms         float64    `json:"p99_ms"`
+	P999ms        float64    `json:"p999_ms"`
+	CumP99ms      float64    `json:"cum_p99_ms"`
+	ThroughputRPS float64    `json:"throughput_rps"`
+	Worst         *WorstInfo `json:"worst,omitempty"`
+}
+
+// Frame is one consistent view of every pipeline, the payload of the SSE
+// stream. Percentiles are over the sliding window; CumP99ms is since boot.
+type Frame struct {
+	VirtualS float64     `json:"virtual_s"`
+	Done     bool        `json:"done"`
+	Pipes    []PipeFrame `json:"pipes"`
+}
+
+// Frame assembles the current frame. The worst violator's span lineage is
+// built lazily — only when a new worst appeared since the last frame — so
+// steady-state frames cost no graph walks.
+func (e *Engine) Frame() Frame {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.horizon
+	f := Frame{VirtualS: float64(now), Done: e.done, Pipes: make([]PipeFrame, 0, len(e.pipes))}
+	ms := func(t float64) float64 { return t / float64(sim.Millisecond) }
+	for _, p := range e.pipes {
+		if p.worstDirty {
+			p.worstDirty = false
+			p.breakdown = fmt.Sprintf("task %d via serve/%d (%s): total %.3f ms = gateway %.3f + wait %.3f + service %.3f",
+				p.worst.taskID, p.worst.node, p.worst.kind,
+				ms(float64(p.worst.latency())), ms(float64(p.worst.deliver-p.worst.admit)),
+				ms(float64(p.worst.start-p.worst.deliver)), ms(float64(p.worst.end-p.worst.start)))
+			p.lineage = ""
+			if a, err := e.col.BuildRequest(p.worst.taskID); err == nil {
+				p.lineage = a.Breakdown()
+			}
+		}
+		winSpan := float64(e.cfg.Window) * float64(e.cfg.Windows)
+		if el := float64(now); el > 0 && el < winSpan {
+			winSpan = el
+		}
+		count := p.win.Count(now)
+		rps := 0.0
+		if winSpan > 0 {
+			rps = float64(count) / winSpan
+		}
+		pf := PipeFrame{
+			Policy:  p.name,
+			Offered: p.stats.Offered, Accepted: p.stats.Accepted, Shed: p.stats.Rejected,
+			Served: p.served, Violations: p.violations,
+			QueueDepth: p.curDepth, MaxQueueDepth: p.maxDepth,
+			WindowCount:   count,
+			P50ms:         ms(p.win.Quantile(now, 0.50)),
+			P99ms:         ms(p.win.Quantile(now, 0.99)),
+			P999ms:        ms(p.win.Quantile(now, 0.999)),
+			CumP99ms:      ms(p.cum.Quantile(0.99)),
+			ThroughputRPS: rps,
+		}
+		if p.worst.taskID != 0 {
+			pf.Worst = &WorstInfo{Task: p.worst.taskID,
+				LatencyMS: ms(float64(p.worst.latency())),
+				Breakdown: p.breakdown, Lineage: p.lineage}
+		}
+		f.Pipes = append(f.Pipes, pf)
+	}
+	return f
+}
+
+// WritePromText renders the full /metrics payload: the obs registry
+// snapshot first, then the engine's own serving families (admission
+// outcomes, windowed latency quantiles, queue depths, throughput). Both
+// blocks are internally sorted, so the output for a fixed virtual instant
+// is byte-deterministic.
+func (e *Engine) WritePromText(w io.Writer) error {
+	f := e.Frame()
+	if e.reg != nil {
+		e.mu.Lock()
+		snap := e.reg.Snapshot(sim.Time(f.VirtualS))
+		e.mu.Unlock()
+		if err := snap.WritePromText(w); err != nil {
+			return err
+		}
+	}
+	sort.Slice(f.Pipes, func(i, j int) bool { return f.Pipes[i].Policy < f.Pipes[j].Policy })
+	var b strings.Builder
+	emit := func(name, typ, help string, rows func(p PipeFrame) []string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, p := range f.Pipes {
+			for _, row := range rows(p) {
+				b.WriteString(row)
+			}
+		}
+	}
+	fv := func(v float64) string { return obs.FormatPromValue(v) }
+	emit("anthill_serve_requests_total", "counter", "admission outcomes per policy", func(p PipeFrame) []string {
+		return []string{
+			fmt.Sprintf("anthill_serve_requests_total{policy=%q,outcome=\"offered\"} %d\n", p.Policy, p.Offered),
+			fmt.Sprintf("anthill_serve_requests_total{policy=%q,outcome=\"accepted\"} %d\n", p.Policy, p.Accepted),
+			fmt.Sprintf("anthill_serve_requests_total{policy=%q,outcome=\"shed\"} %d\n", p.Policy, p.Shed),
+		}
+	})
+	emit("anthill_serve_served_total", "counter", "requests served per policy", func(p PipeFrame) []string {
+		return []string{fmt.Sprintf("anthill_serve_served_total{policy=%q} %d\n", p.Policy, p.Served)}
+	})
+	emit("anthill_serve_slo_violations_total", "counter", "requests past the SLO per policy", func(p PipeFrame) []string {
+		return []string{fmt.Sprintf("anthill_serve_slo_violations_total{policy=%q} %d\n", p.Policy, p.Violations)}
+	})
+	emit("anthill_serve_latency_window_seconds", "gauge", "sliding-window latency quantiles per policy", func(p PipeFrame) []string {
+		s := func(q string, v float64) string {
+			return fmt.Sprintf("anthill_serve_latency_window_seconds{policy=%q,quantile=%q} %s\n",
+				p.Policy, q, fv(v/1e3))
+		}
+		return []string{s("0.5", p.P50ms), s("0.99", p.P99ms), s("0.999", p.P999ms)}
+	})
+	emit("anthill_serve_queue_depth", "gauge", "gateway send-queue depth per policy", func(p PipeFrame) []string {
+		return []string{fmt.Sprintf("anthill_serve_queue_depth{policy=%q} %d\n", p.Policy, p.QueueDepth)}
+	})
+	emit("anthill_serve_queue_depth_max", "gauge", "peak gateway send-queue depth per policy", func(p PipeFrame) []string {
+		return []string{fmt.Sprintf("anthill_serve_queue_depth_max{policy=%q} %d\n", p.Policy, p.MaxQueueDepth)}
+	})
+	emit("anthill_serve_throughput_rps", "gauge", "served requests per virtual second over the sliding window", func(p PipeFrame) []string {
+		return []string{fmt.Sprintf("anthill_serve_throughput_rps{policy=%q} %s\n", p.Policy, fv(p.ThroughputRPS))}
+	})
+	fmt.Fprintf(&b, "# HELP anthill_serve_virtual_seconds current virtual time\n# TYPE anthill_serve_virtual_seconds gauge\n")
+	fmt.Fprintf(&b, "anthill_serve_virtual_seconds %s\n", fv(f.VirtualS))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// EventsJSONL writes the bounded event ring, oldest first, one JSON object
+// per line.
+func (e *Engine) EventsJSONL(w io.Writer) error {
+	e.mu.Lock()
+	evs := make([]Event, 0, len(e.ring))
+	if e.wrap {
+		evs = append(evs, e.ring[e.next:]...)
+		evs = append(evs, e.ring[:e.next]...)
+	} else {
+		evs = append(evs, e.ring...)
+	}
+	e.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestVirtualClockPacing runs a pacing loop against the virtual clock: each
 // Sleep must land the process exactly at the requested instant, with no
@@ -57,5 +60,35 @@ func TestWallClockMonotone(t *testing.T) {
 	b := c.Now()
 	if b < a+Millisecond {
 		t.Fatalf("wall clock did not advance across Sleep: %v -> %v", a, b)
+	}
+}
+
+// TestWallClockTracksRealTime brackets two WallClock readings with real
+// time.Now() samples and checks the reported delta lies inside the real
+// elapsed interval — the property anthill-serve's pacing loop depends on
+// when it converts wall time to virtual time.
+func TestWallClockTracksRealTime(t *testing.T) {
+	c := NewWallClock()
+	r0 := time.Now()
+	a := c.Now()
+	c.Sleep(2 * Millisecond)
+	b := c.Now()
+	r1 := time.Now()
+	elapsed := Time(r1.Sub(r0)) / Time(time.Second)
+	if d := b - a; d <= 0 || d > elapsed {
+		t.Fatalf("wall clock delta %v outside real elapsed (0, %v]", d, elapsed)
+	}
+}
+
+// TestWallClockSleepNonPositive checks that zero and negative Sleeps return
+// promptly instead of blocking (time.Sleep's own contract, pinned here
+// because Engine.Pace may compute a non-positive remainder under load).
+func TestWallClockSleepNonPositive(t *testing.T) {
+	c := NewWallClock()
+	start := time.Now()
+	c.Sleep(0)
+	c.Sleep(-Second)
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("non-positive Sleep blocked for %v", waited)
 	}
 }

@@ -203,6 +203,7 @@ type Kernel struct {
 	failure  error
 	rng      *rand.Rand
 	running  bool
+	finished bool // set by AdvanceTo once the queue drained and shutdown ran
 }
 
 // NewKernel returns a kernel whose processes draw randomness from the given
@@ -350,6 +351,16 @@ func (k *Kernel) RunUntil(horizon Time) error {
 		return fmt.Errorf("sim: kernel already running")
 	}
 	k.running = true
+	k.advance(horizon)
+	k.shutdown()
+	return k.failure
+}
+
+// advance is the event loop shared by RunUntil and AdvanceTo: it dispatches
+// events with timestamps <= horizon (negative = no bound) and returns
+// without killing anything, so the caller decides whether the kernel keeps
+// living.
+func (k *Kernel) advance(horizon Time) {
 	for k.failure == nil && len(k.events) > 0 {
 		e := k.events.popMin()
 		if horizon >= 0 && e.at > horizon {
@@ -362,8 +373,39 @@ func (k *Kernel) RunUntil(horizon Time) error {
 		k.now = e.at
 		k.dispatch(e.proc)
 	}
-	k.shutdown()
-	return k.failure
+}
+
+// AdvanceTo executes events with virtual timestamps <= horizon and returns
+// with the kernel still live, so a driver can interleave slices of virtual
+// execution with wall-clock pacing (the live serving demo's loop). Unlike
+// RunUntil it does NOT kill parked processes at the horizon: calling
+// AdvanceTo with ever-growing horizons replays exactly the event sequence a
+// single Run would, just in pieces.
+//
+// done reports that the event queue drained (or a process failed); the
+// kernel then shuts down exactly like Run — remaining processes are killed,
+// their defers run — and every later call returns (true, err) immediately.
+// The horizon must be non-negative. Not concurrency-safe: callers
+// synchronize externally, like every other Kernel method.
+func (k *Kernel) AdvanceTo(horizon Time) (done bool, err error) {
+	if k.finished {
+		return true, k.failure
+	}
+	if k.running {
+		return false, fmt.Errorf("sim: kernel already running")
+	}
+	if horizon < 0 {
+		return false, fmt.Errorf("sim: AdvanceTo needs a non-negative horizon")
+	}
+	k.running = true
+	k.advance(horizon)
+	if k.failure != nil || len(k.events) == 0 {
+		k.finished = true
+		k.shutdown()
+		return true, k.failure
+	}
+	k.running = false
+	return false, nil
 }
 
 // dispatch hands control to p until it suspends, finishes or panics. For a

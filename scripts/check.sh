@@ -68,6 +68,9 @@ for seed in 1 2 3; do
 done
 rm -rf "$labdir"
 
+echo "== serve smoke  (live demo server: healthz, /metrics families, SSE frame, clean SIGTERM)"
+go test -run '^TestServeSmoke$' -count=1 -timeout 5m ./cmd/anthill-serve
+
 echo "== trace determinism  (same-seed -trace/-metrics-out captures must be byte-identical)"
 tracedir=$(mktemp -d)
 trap 'rm -rf "$tracedir"' EXIT
